@@ -1,0 +1,75 @@
+// Extension: concurrent queries — the paper's future work ("the optimal
+// decision of the optimizer about the queue depth parameter depends on the
+// concurrency level of the system ... is considered as a future work").
+//
+// Part 1 measures how N identical parallel index scans over disjoint ranges
+// interact on the shared SSD: total device queue depth composes, each
+// stream slows down, but far less than N-fold until the device's NCQ slots
+// are oversubscribed.
+//
+// Part 2 shows the cost-model consequence: dividing the queue-depth budget
+// by the concurrency level (OptimizerOptions::concurrent_streams) lets the
+// optimizer pick a smaller — and under contention actually faster —
+// parallel degree per stream.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.h"
+#include "experiment_lib.h"
+
+int main() {
+  using namespace pioqo;
+  const double scale = bench::ScaleFromEnv();
+  auto config = db::PaperExperimentConfig("E33-SSD", scale);
+  auto rig = bench::MakeRig(config, /*calibrate=*/true);
+  auto cfg = config.DatasetConfigFor();
+
+  const double sel = 0.02;
+  const int32_t span =
+      storage::C2UpperBoundForSelectivity(cfg.c2_domain, sel);
+  auto pred_for_stream = [&](int i) {
+    // Disjoint ranges so the buffer pool cannot share pages across streams.
+    const int32_t base = static_cast<int32_t>(
+        (static_cast<int64_t>(cfg.c2_domain) / 8) * i);
+    return exec::RangePredicate{base, base + span};
+  };
+
+  std::printf("Concurrent PIS32 streams over disjoint 2%% ranges on %s "
+              "(scale %.2f)\n\n",
+              config.id.c_str(), scale);
+  std::printf("%8s %16s %16s %14s\n", "streams", "slowest (ms)",
+              "per-stream slow", "mix avg qd");
+  double alone_ms = 0.0;
+  for (int n : {1, 2, 4, 8}) {
+    std::vector<db::Database::ConcurrentScanSpec> specs;
+    for (int i = 0; i < n; ++i) {
+      specs.push_back({cfg.name, pred_for_stream(i),
+                       core::AccessMethod::kPis, 32, 0});
+    }
+    auto results = rig.database->ExecuteConcurrentScans(specs, true);
+    PIOQO_CHECK(results.ok());
+    double slowest = 0.0;
+    for (const auto& r : *results) slowest = std::max(slowest, r.runtime_us);
+    if (n == 1) alone_ms = slowest;
+    std::printf("%8d %16s %15.2fx %14.1f\n", n,
+                bench::Ms(slowest).c_str(), slowest / alone_ms,
+                (*results)[0].avg_queue_depth);
+  }
+
+  std::printf("\nOptimizer queue-depth budgeting (selectivity %.1f%%):\n",
+              sel * 100.0);
+  std::printf("%8s %16s\n", "streams", "chosen plan");
+  for (int streams : {1, 2, 4, 8, 16}) {
+    opt::OptimizerOptions options;
+    options.concurrent_streams = streams;
+    auto table = rig.database->GetTable(cfg.name);
+    PIOQO_CHECK(table.ok());
+    opt::Optimizer optimizer(rig.database->qdtt(), core::CostConstants{},
+                             options);
+    auto choice = optimizer.ChooseAccessPath(
+        rig.database->ProfileFor(**table), sel);
+    std::printf("%8d %16s\n", streams, choice.chosen.ToString().c_str());
+  }
+  return 0;
+}

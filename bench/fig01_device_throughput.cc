@@ -1,0 +1,82 @@
+// Reproduces paper Fig. 1: throughput of non-parallel sequential reads vs
+// parallel 4 KiB random reads at queue depths 1..32, on HDD and SSD.
+//
+// Paper reference points: on SSD, random reads at QD32 reach ~51.7% of
+// sequential throughput; on HDD only ~1.3%.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.h"
+#include "io/device_factory.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "storage/page.h"
+
+namespace pioqo {
+namespace {
+
+using io::Device;
+
+double MeasureSequential(sim::Simulator& sim, Device& device) {
+  device.stats().Reset();
+  const uint32_t block = 256 * 1024;
+  const uint64_t total = 256ull << 20;
+  sim::Latch all(sim, static_cast<int64_t>(total / block));
+  auto reader = [&]() -> sim::Task {
+    sim::Semaphore window(sim, 8);
+    for (uint64_t off = 0; off + block <= total; off += block) {
+      co_await window.WaitAcquire();
+      device.Submit(io::IoRequest{io::IoRequest::Kind::kRead, off, block},
+                    [&window, &all] {
+                      window.Release();
+                      all.CountDown();
+                    });
+    }
+  };
+  reader();
+  sim.Run();
+  return device.stats().ThroughputMbps();
+}
+
+double MeasureRandom(sim::Simulator& sim, Device& device, int qd, int reads) {
+  device.stats().Reset();
+  sim::Latch done(sim, qd);
+  auto worker = [&](uint64_t seed) -> sim::Task {
+    Pcg32 rng(seed);
+    const uint64_t pages = device.capacity_bytes() / storage::kPageSize;
+    for (int i = 0; i < reads; ++i) {
+      co_await device.Read(rng.UniformBelow(pages) * storage::kPageSize,
+                           storage::kPageSize);
+    }
+    done.CountDown();
+  };
+  for (int t = 0; t < qd; ++t) worker(1000 + static_cast<uint64_t>(t));
+  sim.Run();
+  return device.stats().ThroughputMbps();
+}
+
+void RunDevice(io::DeviceKind kind) {
+  sim::Simulator sim;
+  auto device = io::MakeDevice(sim, kind);
+  const double seq = MeasureSequential(sim, *device);
+  std::printf("\n%s: sequential read throughput %.1f MB/s\n",
+              std::string(io::DeviceKindName(kind)).c_str(), seq);
+  std::printf("%8s %14s %12s\n", "qd", "random MB/s", "% of seq");
+  for (int qd : {1, 2, 4, 8, 16, 32}) {
+    const double rnd = MeasureRandom(sim, *device, qd, 3000 / qd + 100);
+    std::printf("%8d %14.1f %11.1f%%\n", qd, rnd, 100.0 * rnd / seq);
+  }
+}
+
+}  // namespace
+}  // namespace pioqo
+
+int main() {
+  std::printf("Fig. 1: sequential vs parallel random 4KB read throughput\n");
+  std::printf("Paper: SSD random @QD32 ~= 51.7%% of sequential; HDD ~= 1.3%%\n");
+  pioqo::RunDevice(pioqo::io::DeviceKind::kHdd7200);
+  pioqo::RunDevice(pioqo::io::DeviceKind::kSsdConsumer);
+  return 0;
+}

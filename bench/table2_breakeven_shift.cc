@@ -1,0 +1,58 @@
+// Reproduces paper Table 2: the shift from non-parallel (IS vs FTS) to
+// parallel (PIS32 vs PFTS32) selectivity break-even points, per rows-per-page
+// and device.
+//
+// Paper values for reference:
+//   rows/page    NP-HDD    P-HDD    NP-SSD   P-SSD
+//   1            0.55%     1.4%     8%       48%
+//   33           0.02%     0.05%    0.4%     2.1%
+//   500          0.0045%   0.005%   0.15%    0.5%
+//
+// Shape criteria: P > NP everywhere; SSD shifts are much larger than HDD
+// shifts; break-evens shrink as rows-per-page grows.
+
+#include <cstdio>
+#include <map>
+
+#include "experiment_lib.h"
+
+int main() {
+  using namespace pioqo;
+  const double scale = bench::ScaleFromEnv();
+  std::printf("Table 2: break-even shift summary (scale %.2f)\n\n", scale);
+
+  struct Row {
+    double np = 0, p = 0;
+  };
+  std::map<uint32_t, std::map<std::string, Row>> rows;  // rpp -> device -> data
+
+  for (const auto& config : db::PaperExperimentConfigs(scale)) {
+    auto rig = bench::MakeRig(config, /*calibrate=*/false);
+    auto points = bench::RunFig4Sweep(rig, bench::Fig4Selectivities(config));
+    Row row;
+    row.np = bench::CrossoverSelectivity(
+        points, [](const auto& p) { return p.is_us; },
+        [](const auto& p) { return p.fts_us; });
+    row.p = bench::CrossoverSelectivity(
+        points, [](const auto& p) { return p.pis32_us; },
+        [](const auto& p) { return p.pfts32_us; });
+    rows[config.rows_per_page]
+        [std::string(io::DeviceKindName(config.device))] = row;
+  }
+
+  std::printf("%-14s %10s %10s %10s %10s %10s %10s\n", "rows per page",
+              "NP-HDD", "P-HDD", "NP-SSD", "P-SSD", "HDD shift", "SSD shift");
+  for (auto& [rpp, by_device] : rows) {
+    const Row& hdd = by_device["hdd"];
+    const Row& ssd = by_device["ssd"];
+    std::printf("%-14u %9.4f%% %9.4f%% %9.4f%% %9.4f%% %9.2fx %9.2fx\n", rpp,
+                hdd.np * 100, hdd.p * 100, ssd.np * 100, ssd.p * 100,
+                hdd.p / hdd.np, ssd.p / ssd.np);
+  }
+  std::printf(
+      "\npaper:        %9s %9s %9s %9s  (shifts 2.5x / 6x @rpp=1;"
+      " 2.5x / 5.3x @33; 1.1x / 3.3x @500)\n",
+      "0.55%/0.02%/0.0045%", "1.4%/0.05%/0.005%", "8%/0.4%/0.15%",
+      "48%/2.1%/0.5%");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Prefetch tuning: the paper's Sec. 3.3 insight as a practical knob —
+// worker threads are expensive, asynchronous prefetching is cheap, and a
+// few workers with deep prefetch generate the same device queue depth as
+// many workers.
+//
+// This example scans the same range with several (workers x prefetch)
+// combinations that all target queue depth ~32 and compares runtime and
+// measured average queue depth.
+//
+//   ./build/examples/prefetch_tuning
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "db/database.h"
+
+int main() {
+  using namespace pioqo;
+  db::DatabaseOptions options;
+  options.device = io::DeviceKind::kSsdConsumer;
+  options.pool_pages = 8192;
+  db::Database database(options);
+
+  storage::DatasetConfig table;
+  table.name = "t";
+  table.num_rows = 1'000'000;
+  table.rows_per_page = 33;
+  table.c2_domain = 1 << 30;
+  table.index_leaf_fill = 64;
+  PIOQO_CHECK_OK(database.CreateTable(table));
+
+  exec::RangePredicate pred{
+      0, storage::C2UpperBoundForSelectivity(table.c2_domain, 0.03)};
+
+  struct Combo {
+    int workers;
+    int prefetch;
+  };
+  const Combo combos[] = {{32, 0}, {16, 2}, {8, 4}, {4, 8}, {2, 16}, {1, 32}};
+
+  std::printf("index scan of ~3%% of 1M rows on SSD; every combination "
+              "targets queue depth ~32\n\n");
+  std::printf("%8s %9s %12s %14s\n", "workers", "prefetch", "runtime ms",
+              "avg queue depth");
+  for (const Combo& combo : combos) {
+    auto result =
+        database.ExecuteScan("t", pred, core::AccessMethod::kPis,
+                             combo.workers, combo.prefetch, /*flush_pool=*/true);
+    PIOQO_CHECK(result.ok());
+    std::printf("%8d %9d %12.1f %14.1f\n", combo.workers, combo.prefetch,
+                result->runtime_us / 1000.0, result->avg_queue_depth);
+  }
+  std::printf(
+      "\nFewer workers with deeper prefetch reach nearly the same queue\n"
+      "depth and runtime as 32 workers (paper Sec. 3.3: prefetching gives\n"
+      "\"excellent performance without the negative impacts of using a\n"
+      "large number of workers\").\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "common/math_utils.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pioqo {
+
+double YaoExpectedPages(uint64_t n_rows, uint64_t rows_per_page,
+                        uint64_t k_selected) {
+  PIOQO_CHECK(rows_per_page >= 1);
+  PIOQO_CHECK(n_rows >= rows_per_page);
+  const double n = static_cast<double>(n_rows);
+  const double m = static_cast<double>(rows_per_page);
+  const double k = static_cast<double>(std::min(k_selected, n_rows));
+  const double pages = n / m;
+  if (k <= 0) return 0.0;
+  if (k > n - m) return pages;  // every page holds at least one selected row
+  // log of C(n - m, k) / C(n, k) via lgamma, O(1) and stable for huge n, k.
+  const double log_ratio = std::lgamma(n - m + 1) - std::lgamma(n - m - k + 1) -
+                           (std::lgamma(n + 1) - std::lgamma(n - k + 1));
+  return pages * (1.0 - std::exp(log_ratio));
+}
+
+double ExpectedIndexScanFetches(uint64_t table_pages, uint64_t rows_per_page,
+                                uint64_t k_selected, uint64_t pool_pages) {
+  PIOQO_CHECK(table_pages >= 1);
+  const uint64_t n_rows = table_pages * rows_per_page;
+  const double k = static_cast<double>(std::min(k_selected, n_rows));
+  const double distinct = YaoExpectedPages(n_rows, rows_per_page, k_selected);
+  if (distinct <= static_cast<double>(pool_pages)) {
+    // Working set fits in the pool: each distinct page fetched exactly once.
+    return distinct;
+  }
+  // Working set exceeds the pool. Re-touches (k - distinct of them) hit with
+  // probability ~ pool/table (fraction of the uniformly accessed table that
+  // is resident), and only the portion of the scan past the pool fill-up
+  // suffers misses on re-touches.
+  const double p_resident =
+      static_cast<double>(pool_pages) / static_cast<double>(table_pages);
+  const double retouches = std::max(0.0, k - distinct);
+  const double overflow_fraction =
+      (distinct - static_cast<double>(pool_pages)) / distinct;
+  return distinct + retouches * (1.0 - p_resident) * overflow_fraction;
+}
+
+}  // namespace pioqo

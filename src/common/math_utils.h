@@ -1,0 +1,37 @@
+#ifndef PIOQO_COMMON_MATH_UTILS_H_
+#define PIOQO_COMMON_MATH_UTILS_H_
+
+#include <cstdint>
+
+namespace pioqo {
+
+/// Integer ceiling division. Requires b > 0.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Yao's formula (Yue & Wong 1975, cited as [26] in the paper): the expected
+/// number of *distinct* pages touched when selecting `k` rows uniformly at
+/// random without replacement from a table of `n` rows stored `m` rows per
+/// page (so n/m pages).
+///
+///   E[pages] = P * (1 - C(n - m, k) / C(n, k))
+///
+/// computed in a numerically stable product form. Returns a value in
+/// [0, n/m]. Requires m >= 1 and n >= m.
+double YaoExpectedPages(uint64_t n_rows, uint64_t rows_per_page,
+                        uint64_t k_selected);
+
+/// Expected number of page *fetches* for an index scan retrieving `k_selected`
+/// row ids in index-key order (i.e. random page order) through a buffer pool
+/// of `pool_pages` frames, over a table of `table_pages` pages.
+///
+/// Approximation in the spirit of Mackert & Lohman's LRU treatment: while the
+/// number of distinct pages touched so far is below the pool size every touch
+/// of a new page is a fetch and re-touches are hits; once the working set
+/// exceeds the pool, a re-touch hits with probability pool/table (fraction of
+/// the uniformly-accessed table resident).
+double ExpectedIndexScanFetches(uint64_t table_pages, uint64_t rows_per_page,
+                                uint64_t k_selected, uint64_t pool_pages);
+
+}  // namespace pioqo
+
+#endif  // PIOQO_COMMON_MATH_UTILS_H_

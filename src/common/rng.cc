@@ -1,0 +1,73 @@
+#include "common/rng.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace pioqo {
+
+Pcg32::Pcg32(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+uint32_t Pcg32::NextU32() {
+  uint64_t oldstate = state_;
+  state_ = oldstate * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((oldstate >> 18u) ^ oldstate) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(oldstate >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((-rot) & 31));
+}
+
+uint64_t Pcg32::NextU64() {
+  uint64_t hi = NextU32();
+  uint64_t lo = NextU32();
+  return (hi << 32) | lo;
+}
+
+double Pcg32::NextDouble() {
+  // 53 random bits scaled to [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Pcg32::UniformBelow(uint64_t n) {
+  PIOQO_CHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Pcg32::UniformInt(int64_t lo, int64_t hi) {
+  PIOQO_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextU64());  // full 64-bit range
+  return lo + static_cast<int64_t>(UniformBelow(span));
+}
+
+std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t count,
+                                               Pcg32& rng) {
+  PIOQO_CHECK(count <= n);
+  // Partial Fisher-Yates with a sparse map standing in for the identity
+  // permutation: swap slot i with a random slot in [i, n); only touched
+  // slots are stored.
+  std::unordered_map<uint64_t, uint64_t> displaced;
+  displaced.reserve(count * 2);
+  std::vector<uint64_t> result;
+  result.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t j = i + rng.UniformBelow(n - i);
+    auto it_j = displaced.find(j);
+    uint64_t value_j = (it_j == displaced.end()) ? j : it_j->second;
+    auto it_i = displaced.find(i);
+    uint64_t value_i = (it_i == displaced.end()) ? i : it_i->second;
+    displaced[j] = value_i;
+    result.push_back(value_j);
+  }
+  return result;
+}
+
+}  // namespace pioqo

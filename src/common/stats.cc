@@ -1,0 +1,54 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pioqo {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void TimeWeightedAverage::Update(double now, int64_t new_value) {
+  if (!started_) {
+    started_ = true;
+    start_time_ = now;
+  } else {
+    weighted_sum_ += static_cast<double>(current_) * (now - last_time_);
+  }
+  last_time_ = now;
+  current_ = new_value;
+}
+
+double TimeWeightedAverage::Average(double now) const {
+  if (!started_ || now <= start_time_) return 0.0;
+  double total = weighted_sum_ + static_cast<double>(current_) * (now - last_time_);
+  return total / (now - start_time_);
+}
+
+double LerpClamped(double x, double x0, double y0, double x1, double y1) {
+  if (x1 == x0) return y0;
+  if (x <= x0) return y0;
+  if (x >= x1) return y1;
+  double t = (x - x0) / (x1 - x0);
+  return y0 + t * (y1 - y0);
+}
+
+}  // namespace pioqo

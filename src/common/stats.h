@@ -1,0 +1,62 @@
+#ifndef PIOQO_COMMON_STATS_H_
+#define PIOQO_COMMON_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pioqo {
+
+/// Online mean / variance / extrema accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n - 1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// A time-weighted average of a piecewise-constant integer signal, used for
+/// the average I/O queue depth over a simulation interval ("the average
+/// number of outstanding I/Os in the I/O queue at any point of time").
+class TimeWeightedAverage {
+ public:
+  /// Records that the signal had `value` from the previous update time until
+  /// `now`, then switches to tracking the new level implicitly.
+  void Update(double now, int64_t new_value);
+
+  /// Average level over [first update, `now`]. 0 before any update.
+  double Average(double now) const;
+
+  int64_t current() const { return current_; }
+
+ private:
+  bool started_ = false;
+  double start_time_ = 0.0;
+  double last_time_ = 0.0;
+  int64_t current_ = 0;
+  double weighted_sum_ = 0.0;
+};
+
+/// Linear interpolation of y at `x` between the two calibration points
+/// (x0, y0) and (x1, y1). If x is outside [x0, x1] the value is clamped to
+/// the nearer endpoint (the paper's model is only queried inside the
+/// calibrated range; clamping keeps out-of-range queries sane).
+double LerpClamped(double x, double x0, double y0, double x1, double y1);
+
+}  // namespace pioqo
+
+#endif  // PIOQO_COMMON_STATS_H_

@@ -1,0 +1,271 @@
+#include "core/calibrator.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "storage/page.h"
+
+namespace pioqo::core {
+namespace {
+
+using storage::kPageSize;
+
+io::IoRequest PageRead(uint64_t page) {
+  return io::IoRequest{io::IoRequest::Kind::kRead, page * kPageSize, kPageSize};
+}
+
+/// n simulated threads, each performing synchronous reads of the next
+/// unclaimed page in the sequence.
+sim::Task MultiThreadWorker(io::Device& device,
+                            const std::vector<uint64_t>& pages, size_t& next,
+                            sim::Latch& done) {
+  while (next < pages.size()) {
+    const uint64_t page = pages[next++];
+    co_await device.Read(page * kPageSize, kPageSize);
+  }
+  done.CountDown();
+}
+
+/// Group waiting (Sec. 4.4): issue n asynchronous reads, wait for all of
+/// them, repeat.
+sim::Task GroupWaitingDriver(sim::Simulator& sim, io::Device& device,
+                             const std::vector<uint64_t>& pages, int qd,
+                             sim::Latch& done) {
+  for (size_t i = 0; i < pages.size();) {
+    const size_t group = std::min<size_t>(static_cast<size_t>(qd),
+                                          pages.size() - i);
+    sim::Latch group_done(sim, static_cast<int64_t>(group));
+    for (size_t j = 0; j < group; ++j) {
+      device.Submit(PageRead(pages[i + j]), [&group_done] {
+        group_done.CountDown();
+      });
+    }
+    i += group;
+    co_await group_done.Wait();
+  }
+  done.CountDown();
+}
+
+/// Active waiting (Sec. 4.4): keep n slots in flight; as soon as slot k's
+/// read finishes, issue the next read into slot k and move to slot k+1.
+sim::Task ActiveWaitingDriver(sim::Simulator& sim, io::Device& device,
+                              const std::vector<uint64_t>& pages, int qd,
+                              sim::Latch& done) {
+  const size_t n = std::min<size_t>(static_cast<size_t>(qd), pages.size());
+  std::vector<std::unique_ptr<sim::Event>> slots;
+  slots.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    slots.push_back(std::make_unique<sim::Event>(sim));
+  }
+  size_t issued = 0;
+  for (; issued < n; ++issued) {
+    device.Submit(PageRead(pages[issued]),
+                  [ev = slots[issued].get()] { ev->Set(); });
+  }
+  for (size_t waited = 0; waited < pages.size(); ++waited) {
+    sim::Event& slot = *slots[waited % n];
+    co_await slot.Wait();
+    slot.Reset();
+    if (issued < pages.size()) {
+      device.Submit(PageRead(pages[issued]), [&slot] { slot.Set(); });
+      ++issued;
+    }
+  }
+  done.CountDown();
+}
+
+}  // namespace
+
+std::string_view CalibrationMethodName(CalibrationMethod method) {
+  switch (method) {
+    case CalibrationMethod::kMultiThread:
+      return "MT";
+    case CalibrationMethod::kGroupWaiting:
+      return "GW";
+    case CalibrationMethod::kActiveWaiting:
+      return "AW";
+  }
+  return "?";
+}
+
+Calibrator::Calibrator(sim::Simulator& sim, io::Device& device,
+                       CalibratorOptions options)
+    : sim_(sim), device_(device), options_(std::move(options)) {
+  PIOQO_CHECK(options_.max_pages_per_point >= 1);
+  PIOQO_CHECK(options_.repetitions >= 1);
+  if (options_.band_grid.empty()) {
+    options_.band_grid =
+        QdttModel::DefaultBandGrid(device_.capacity_bytes() / kPageSize);
+  }
+}
+
+std::vector<uint64_t> Calibrator::BuildSequence(uint64_t band_pages,
+                                                uint64_t seed) const {
+  Pcg32 rng(seed);
+  const uint64_t file_pages = device_.capacity_bytes() / kPageSize;
+  const uint64_t band = std::min(std::max<uint64_t>(band_pages, 1), file_pages);
+  const uint64_t m = options_.max_pages_per_point;
+
+  std::vector<uint64_t> sequence;
+  if (band <= m) {
+    // Consecutive band-sized blocks, each fully read in random order, one
+    // block at a time. The number of blocks is capped so total reads <= M
+    // (the paper's intent: "the total number of page reads for any
+    // calibration point would be at most equal to M").
+    const uint64_t blocks =
+        std::max<uint64_t>(1, std::min(m / band, file_pages / band));
+    const uint64_t max_start_block = file_pages / band - blocks;
+    const uint64_t start_block =
+        max_start_block > 0 ? rng.UniformBelow(max_start_block + 1) : 0;
+    sequence.reserve(blocks * band);
+    for (uint64_t blk = 0; blk < blocks; ++blk) {
+      const uint64_t base = (start_block + blk) * band;
+      for (uint64_t p : SampleWithoutReplacement(band, band, rng)) {
+        sequence.push_back(base + p);
+      }
+    }
+  } else {
+    // One randomly placed band-sized block; M distinct random pages in it.
+    const uint64_t max_start = file_pages - band;
+    const uint64_t start = max_start > 0 ? rng.UniformBelow(max_start + 1) : 0;
+    sequence.reserve(m);
+    for (uint64_t p : SampleWithoutReplacement(band, m, rng)) {
+      sequence.push_back(start + p);
+    }
+  }
+  return sequence;
+}
+
+sim::Task Calibrator::MeasurePointAsync(uint64_t band_pages, int qd,
+                                        CalibrationMethod method,
+                                        uint64_t seed,
+                                        double* out_us_per_page,
+                                        sim::Latch& done) {
+  PIOQO_CHECK(qd >= 1);
+  const std::vector<uint64_t> pages = BuildSequence(band_pages, seed);
+  PIOQO_CHECK(!pages.empty());
+  const sim::SimTime start = sim_.Now();
+  sim::Latch inner(sim_, method == CalibrationMethod::kMultiThread ? qd : 1);
+  size_t next = 0;
+  switch (method) {
+    case CalibrationMethod::kMultiThread:
+      for (int t = 0; t < qd; ++t) {
+        MultiThreadWorker(device_, pages, next, inner);
+      }
+      break;
+    case CalibrationMethod::kGroupWaiting:
+      GroupWaitingDriver(sim_, device_, pages, qd, inner);
+      break;
+    case CalibrationMethod::kActiveWaiting:
+      ActiveWaitingDriver(sim_, device_, pages, qd, inner);
+      break;
+  }
+  co_await inner.Wait();
+  *out_us_per_page = (sim_.Now() - start) / static_cast<double>(pages.size());
+  done.CountDown();
+}
+
+double Calibrator::RunSequence(const std::vector<uint64_t>& pages, int qd,
+                               CalibrationMethod method) {
+  PIOQO_CHECK(!pages.empty());
+  PIOQO_CHECK(qd >= 1);
+  const sim::SimTime start = sim_.Now();
+  sim::Latch done(sim_, method == CalibrationMethod::kMultiThread ? qd : 1);
+  size_t next = 0;
+  switch (method) {
+    case CalibrationMethod::kMultiThread:
+      for (int t = 0; t < qd; ++t) {
+        MultiThreadWorker(device_, pages, next, done);
+      }
+      break;
+    case CalibrationMethod::kGroupWaiting:
+      GroupWaitingDriver(sim_, device_, pages, qd, done);
+      break;
+    case CalibrationMethod::kActiveWaiting:
+      ActiveWaitingDriver(sim_, device_, pages, qd, done);
+      break;
+  }
+  sim_.Run();
+  PIOQO_CHECK(done.done());
+  const double elapsed = sim_.Now() - start;
+  return elapsed / static_cast<double>(pages.size());
+}
+
+double Calibrator::MeasurePoint(uint64_t band_pages, int qd,
+                                CalibrationMethod method, uint64_t seed) {
+  return RunSequence(BuildSequence(band_pages, seed), qd, method);
+}
+
+RunningStat Calibrator::MeasurePointStats(uint64_t band_pages, int qd,
+                                          CalibrationMethod method,
+                                          int repetitions, uint64_t seed) {
+  RunningStat stat;
+  for (int r = 0; r < repetitions; ++r) {
+    stat.Add(MeasurePoint(band_pages, qd, method,
+                          seed + static_cast<uint64_t>(r) * 7919));
+  }
+  return stat;
+}
+
+CalibrationResult Calibrator::Calibrate() {
+  QdttModel model(options_.band_grid, options_.qd_grid);
+  CalibrationResult result{model, 0.0, 0, 0, 0};
+  const size_t nb = options_.band_grid.size();
+  const size_t nq = options_.qd_grid.size();
+  const sim::SimTime start = sim_.Now();
+  uint64_t seed = options_.seed;
+  bool stopped = false;
+
+  // Queue depths ascending; bands from largest to smallest within each
+  // (Sec. 4.6: "for each queue depth the calibration is done from the
+  // largest to the smallest band size").
+  for (size_t qi = 0; qi < nq && !stopped; ++qi) {
+    for (size_t b = nb; b-- > 0;) {
+      const size_t bi = b;  // iterate nb-1 .. 0
+      RunningStat stat = MeasurePointStats(
+          options_.band_grid[bi], options_.qd_grid[qi], options_.method,
+          options_.repetitions, seed);
+      seed += 104729;
+      result.model.SetPoint(bi, qi, stat.mean());
+      ++result.points_measured;
+      result.pages_read += static_cast<uint64_t>(options_.repetitions) *
+                           options_.max_pages_per_point;
+
+      // Early-stop check after the largest band of each queue depth > 1:
+      // continue only if the deeper queue improved it by >= T.
+      if (options_.early_stop && qi > 0 && bi == nb - 1) {
+        const double prev = result.model.PointAt(nb - 1, qi - 1);
+        const double curr = stat.mean();
+        if (curr > prev * (1.0 - options_.early_stop_threshold)) {
+          stopped = true;
+          break;
+        }
+      }
+    }
+  }
+
+  if (stopped || !result.model.complete()) {
+    // Assign defaults "slightly larger than the measured costs for queue
+    // depth one" to every remaining point.
+    for (size_t bi = 0; bi < nb; ++bi) {
+      const double base = result.model.PointAt(bi, 0);
+      PIOQO_CHECK(base >= 0.0);
+      for (size_t qi = 1; qi < nq; ++qi) {
+        if (!result.model.IsSet(bi, qi)) {
+          result.model.SetPoint(bi, qi,
+                                base * options_.early_stop_default_factor);
+          ++result.points_defaulted;
+        }
+      }
+    }
+  }
+
+  result.calibration_time_us = sim_.Now() - start;
+  return result;
+}
+
+}  // namespace pioqo::core

@@ -1,0 +1,122 @@
+#ifndef PIOQO_CORE_CALIBRATOR_H_
+#define PIOQO_CORE_CALIBRATOR_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/qdtt_model.h"
+#include "io/device.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace pioqo::core {
+
+/// The three queue-depth-generation methods of paper Sec. 4.4.
+enum class CalibrationMethod {
+  /// n "threads", each issuing synchronous page reads back to back; queue
+  /// depth stays constantly n.
+  kMultiThread,
+  /// Group waiting: one thread issues n asynchronous reads, waits for *all*
+  /// of them, then issues the next group.
+  kGroupWaiting,
+  /// Active waiting: one thread keeps n slots in flight, re-issuing into a
+  /// slot as soon as that slot's read completes (circular). The paper's
+  /// recommended general method ("the AW method must be the method of
+  /// choice").
+  kActiveWaiting,
+};
+
+std::string_view CalibrationMethodName(CalibrationMethod method);
+
+struct CalibratorOptions {
+  /// Band sizes (pages) to calibrate; empty -> QdttModel::DefaultBandGrid
+  /// for the device.
+  std::vector<uint64_t> band_grid;
+  /// Queue depths to calibrate; the paper's exponential grid.
+  std::vector<int> qd_grid = QdttModel::DefaultQdGrid();
+  /// M: hard cap on pages read per calibration point (Sec. 4.4; the paper
+  /// uses M = 3200).
+  uint32_t max_pages_per_point = 3200;
+  /// Independent repetitions averaged per point (the paper's figures use
+  /// 50; 1 is enough for the optimizer).
+  int repetitions = 1;
+  CalibrationMethod method = CalibrationMethod::kActiveWaiting;
+  /// Early-stop control mechanism of Sec. 4.6.
+  bool early_stop = true;
+  /// T: continue to the next queue depth only if the largest band improved
+  /// by at least this fraction ("we found experimentally that 20 is a
+  /// reasonable value for T").
+  double early_stop_threshold = 0.20;
+  /// After stopping, unmeasured points get the band's queue-depth-1 cost
+  /// times this ("a default value slightly larger than the measured costs
+  /// for queue depth one").
+  double early_stop_default_factor = 1.05;
+  uint64_t seed = 2014;
+};
+
+/// Result of a full calibration run.
+struct CalibrationResult {
+  QdttModel model;
+  double calibration_time_us = 0.0;  // simulated time spent reading
+  int points_measured = 0;
+  int points_defaulted = 0;
+  uint64_t pages_read = 0;
+};
+
+/// Calibrates a QDTT model against a device by measuring the amortized cost
+/// of random page reads for every (band size, queue depth) grid point
+/// (Secs. 4.4-4.6). All reads go straight to the device (the calibration
+/// bypasses the buffer pool, as a real calibrator uses unbuffered I/O).
+class Calibrator {
+ public:
+  Calibrator(sim::Simulator& sim, io::Device& device, CalibratorOptions options);
+
+  /// Runs the (optionally early-stopping) grid calibration.
+  CalibrationResult Calibrate();
+
+  /// Measures a single grid point once: amortized us per page read when
+  /// randomly reading within a `band_pages` band at queue depth `qd` using
+  /// `method`. Exposed for the paper's method-comparison figures (9-11).
+  double MeasurePoint(uint64_t band_pages, int qd, CalibrationMethod method,
+                      uint64_t seed);
+
+  /// Repeats MeasurePoint `repetitions` times with distinct seeds and
+  /// returns the distribution (Fig. 9's "average of 50 repetitions" and
+  /// Fig. 10's standard deviations).
+  RunningStat MeasurePointStats(uint64_t band_pages, int qd,
+                                CalibrationMethod method, int repetitions,
+                                uint64_t seed);
+
+  /// Coroutine-friendly variant for callers that are themselves simulated
+  /// activities (e.g. the idle-time calibrator): measures the point while
+  /// the rest of the simulation keeps running, writes the amortized cost to
+  /// `*out_us_per_page`, and counts `done` down once.
+  sim::Task MeasurePointAsync(uint64_t band_pages, int qd,
+                              CalibrationMethod method, uint64_t seed,
+                              double* out_us_per_page, sim::Latch& done);
+
+  const CalibratorOptions& options() const { return options_; }
+
+ private:
+  /// Builds the page-read sequence for one point per the paper's block
+  /// rules: for band <= M the file is divided into consecutive band-sized
+  /// blocks (as many as fit under the M-page budget) and each block is read
+  /// completely in random non-repeating order, one block at a time; for
+  /// band > M a single randomly-placed band-sized block is sampled with M
+  /// distinct random pages.
+  std::vector<uint64_t> BuildSequence(uint64_t band_pages, uint64_t seed) const;
+
+  double RunSequence(const std::vector<uint64_t>& pages, int qd,
+                     CalibrationMethod method);
+
+  sim::Simulator& sim_;
+  io::Device& device_;
+  CalibratorOptions options_;
+};
+
+}  // namespace pioqo::core
+
+#endif  // PIOQO_CORE_CALIBRATOR_H_

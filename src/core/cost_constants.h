@@ -1,0 +1,64 @@
+#ifndef PIOQO_CORE_COST_CONSTANTS_H_
+#define PIOQO_CORE_COST_CONSTANTS_H_
+
+#include <cstdint>
+
+namespace pioqo::core {
+
+/// CPU-side cost coefficients, shared by the execution engine (which
+/// *charges* them as simulated CPU bursts) and the cost model (which
+/// *estimates* with them). Sharing is deliberate and honest: a production
+/// cost model is calibrated against its own executor; what the paper's
+/// optimizer had to learn dynamically is the I/O side, which is what the
+/// QDTT calibration supplies.
+struct CostConstants {
+  /// Evaluating the predicate + aggregate on one row.
+  double row_eval_cpu_us = 0.106;
+  /// Fixed work to crack a fetched page (header/layout parsing).
+  double page_overhead_cpu_us = 2.0;
+  /// Buffer-pool fetch path (hash lookup, latching, bookkeeping) per page
+  /// fetch performed by a worker.
+  double fetch_cpu_us = 15.7;
+  /// Decoding one (key, row_id) index entry during an index scan.
+  double index_entry_cpu_us = 0.4;
+  /// Per-entry-per-log2(k) cost of the sorted index scan's rid sort.
+  double sort_entry_cpu_us = 0.02;
+  /// Per-worker setup/teardown + coordination of a parallel plan.
+  double worker_startup_us = 150.0;
+  /// Serialized per-page critical section in parallel scans (shared page
+  /// counter, buffer latching) — the contention that keeps PFTS from
+  /// scaling linearly in the paper's measurements.
+  double page_latch_us = 1.2;
+
+  /// How strongly the *cost model* weights CPU work relative to what the
+  /// executor actually spends. The paper's production optimizer
+  /// under-estimates CPU ("the estimated I/O cost is much more than the
+  /// estimated CPU cost"), which is why its DTT optimizer never preferred a
+  /// parallel plan even for scans that execute CPU-bound (Sec. 4.3). We
+  /// reproduce that calibrated discrepancy; set to 1.0 for an honest CPU
+  /// model (see bench/ablation_forced_parallel).
+  double cpu_estimate_scale = 0.1;
+
+  /// Logical cores of the simulated host (the paper's quad-core Xeon with
+  /// hyper-threading enabled).
+  int logical_cores = 8;
+  /// Physical cores behind them; when more than this many logical cores are
+  /// busy, bursts stretch by `smt_penalty` (two hyper-threads share one
+  /// core's execution resources). Net full-machine throughput is
+  /// logical/smt_penalty ~= 3.7 cores — which is why the paper's PFTS tops
+  /// out well below 8x FTS (Table 3).
+  int physical_cores = 4;
+  double smt_penalty = 2.16;
+  /// Largest parallel degree the engine/optimizer considers (paper: 32).
+  int max_parallel_degree = 32;
+
+  /// FTS prefetching: pages per block read and blocks kept in flight
+  /// ("instead of prefetching pages one by one a large block consisting of
+  /// several consecutive pages is read at a time ... up to n blocks ahead").
+  uint32_t fts_block_pages = 64;
+  int fts_prefetch_blocks = 8;
+};
+
+}  // namespace pioqo::core
+
+#endif  // PIOQO_CORE_COST_CONSTANTS_H_

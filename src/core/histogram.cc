@@ -1,0 +1,77 @@
+#include "core/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace pioqo::core {
+
+StatusOr<EquiWidthHistogram> EquiWidthHistogram::Build(
+    const std::vector<int32_t>& values, int num_buckets) {
+  if (values.empty()) {
+    return Status::InvalidArgument("histogram needs at least one value");
+  }
+  if (num_buckets < 1) {
+    return Status::InvalidArgument("need at least one bucket");
+  }
+  EquiWidthHistogram h;
+  auto [min_it, max_it] = std::minmax_element(values.begin(), values.end());
+  h.min_ = *min_it;
+  h.max_ = *max_it;
+  h.total_ = values.size();
+  h.counts_.assign(static_cast<size_t>(num_buckets), 0);
+  const double width =
+      (static_cast<double>(h.max_) - static_cast<double>(h.min_) + 1.0) /
+      num_buckets;
+  for (int32_t v : values) {
+    auto b = static_cast<size_t>((static_cast<double>(v) - h.min_) / width);
+    b = std::min(b, h.counts_.size() - 1);
+    ++h.counts_[b];
+  }
+  return h;
+}
+
+double EquiWidthHistogram::BucketLow(size_t b) const {
+  const double width =
+      (static_cast<double>(max_) - static_cast<double>(min_) + 1.0) /
+      static_cast<double>(counts_.size());
+  return static_cast<double>(min_) + width * static_cast<double>(b);
+}
+
+double EquiWidthHistogram::BucketHigh(size_t b) const {
+  return BucketLow(b + 1);
+}
+
+double EquiWidthHistogram::BucketOverlap(size_t b, double lo,
+                                         double hi) const {
+  const double blo = BucketLow(b);
+  const double bhi = BucketHigh(b);
+  const double overlap = std::min(hi, bhi) - std::max(lo, blo);
+  if (overlap <= 0.0) return 0.0;
+  return overlap / (bhi - blo);
+}
+
+double EquiWidthHistogram::EstimateRangeSelectivity(int32_t lo,
+                                                    int32_t hi) const {
+  if (lo > hi) return 0.0;
+  // Treat the inclusive int range [lo, hi] as the real interval
+  // [lo, hi + 1).
+  const double rlo = static_cast<double>(lo);
+  const double rhi = static_cast<double>(hi) + 1.0;
+  double selected = 0.0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    selected += static_cast<double>(counts_[b]) * BucketOverlap(b, rlo, rhi);
+  }
+  return std::clamp(selected / static_cast<double>(total_), 0.0, 1.0);
+}
+
+std::string EquiWidthHistogram::ToString() const {
+  std::ostringstream out;
+  out << "histogram [" << min_ << ", " << max_ << "] n=" << total_ << ":";
+  for (uint64_t c : counts_) out << " " << c;
+  return out.str();
+}
+
+}  // namespace pioqo::core

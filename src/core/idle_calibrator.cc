@@ -1,0 +1,106 @@
+#include "core/idle_calibrator.h"
+
+#include "common/logging.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace pioqo::core {
+
+IdleCalibrator::IdleCalibrator(sim::Simulator& sim, io::Device& device,
+                               IdleCalibratorOptions options)
+    : sim_(sim),
+      device_(device),
+      options_(options),
+      calibrator_(sim, device, options.calibration),
+      model_(calibrator_.options().band_grid, calibrator_.options().qd_grid),
+      seed_(calibrator_.options().seed) {
+  // Same order as the offline calibrator: queue depths ascending, bands
+  // largest to smallest within each depth (Sec. 4.6).
+  const size_t nb = model_.num_bands();
+  const size_t nq = model_.num_qds();
+  for (size_t qi = 0; qi < nq; ++qi) {
+    for (size_t b = nb; b-- > 0;) {
+      pending_.push_back(GridPoint{b, qi});
+    }
+  }
+}
+
+bool IdleCalibrator::complete() const { return model_.complete(); }
+
+std::optional<QdttModel> IdleCalibrator::FinishedModel() const {
+  if (!complete()) return std::nullopt;
+  return model_;
+}
+
+void IdleCalibrator::Start() {
+  PIOQO_CHECK(!started_) << "IdleCalibrator started twice";
+  started_ = true;
+  Loop();
+}
+
+bool IdleCalibrator::DeviceIdle() const {
+  const auto& stats = device_.stats();
+  if (stats.outstanding() > 0) {
+    quiet_since_ = sim_.Now();
+    last_reads_seen_ = stats.reads() + stats.writes();
+    return false;
+  }
+  const uint64_t now_count = stats.reads() + stats.writes();
+  if (now_count != last_reads_seen_) {
+    last_reads_seen_ = now_count;
+    quiet_since_ = sim_.Now();
+    return false;
+  }
+  return sim_.Now() - quiet_since_ >= options_.idle_threshold_us;
+}
+
+void IdleCalibrator::ApplyEarlyStopDefaults() {
+  const double factor = calibrator_.options().early_stop_default_factor;
+  for (size_t b = 0; b < model_.num_bands(); ++b) {
+    const double base = model_.PointAt(b, 0);
+    PIOQO_CHECK(base >= 0.0);
+    for (size_t q = 1; q < model_.num_qds(); ++q) {
+      if (!model_.IsSet(b, q)) {
+        model_.SetPoint(b, q, base * factor);
+        ++points_defaulted_;
+      }
+    }
+  }
+  next_point_ = pending_.size();
+}
+
+sim::Task IdleCalibrator::Loop() {
+  const auto& opts = calibrator_.options();
+  const size_t largest_band = model_.num_bands() - 1;
+  while (!stop_requested_ && next_point_ < pending_.size()) {
+    if (!DeviceIdle()) {
+      co_await sim::Delay(sim_, options_.poll_interval_us);
+      continue;
+    }
+    const GridPoint point = pending_[next_point_++];
+    double cost = 0.0;
+    sim::Latch done(sim_, 1);
+    calibrator_.MeasurePointAsync(opts.band_grid[point.band_idx],
+                                  opts.qd_grid[point.qd_idx], opts.method,
+                                  seed_, &cost, done);
+    seed_ += 104729;
+    co_await done.Wait();
+    model_.SetPoint(point.band_idx, point.qd_idx, cost);
+    ++points_measured_;
+
+    // Early-stop check mirrors the offline calibrator: compare the largest
+    // band across consecutive queue depths.
+    if (opts.early_stop && point.qd_idx > 0 &&
+        point.band_idx == largest_band) {
+      const double prev = model_.PointAt(largest_band, point.qd_idx - 1);
+      if (cost > prev * (1.0 - opts.early_stop_threshold)) {
+        ApplyEarlyStopDefaults();
+        break;
+      }
+    }
+    // Yield between points so foreground I/O can resume promptly.
+    co_await sim::Delay(sim_, options_.poll_interval_us);
+  }
+}
+
+}  // namespace pioqo::core

@@ -1,0 +1,91 @@
+#ifndef PIOQO_CORE_IDLE_CALIBRATOR_H_
+#define PIOQO_CORE_IDLE_CALIBRATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/calibrator.h"
+#include "core/qdtt_model.h"
+#include "io/device.h"
+#include "sim/simulator.h"
+
+namespace pioqo::core {
+
+struct IdleCalibratorOptions {
+  CalibratorOptions calibration;
+  /// How often the background task re-checks for device idleness.
+  double poll_interval_us = 20'000.0;
+  /// The device must have been quiet (no completions, nothing outstanding)
+  /// for this long before a calibration point is measured.
+  double idle_threshold_us = 50'000.0;
+};
+
+/// Background calibration during idle I/O cycles — the future work of paper
+/// Sec. 4.6 ("investigating the possibility of automatic frequent
+/// calibrations during the idle I/O cycles of the system").
+///
+/// Start() launches a simulated background task that watches the device.
+/// Whenever the device has been idle for `idle_threshold_us`, it measures
+/// the next pending grid point (queue depths ascending, bands largest to
+/// smallest, with the same early-stop rule as the offline calibrator) and
+/// then yields again, so foreground query I/O always interleaves between
+/// points. When the grid is complete the finished model is available.
+class IdleCalibrator {
+ public:
+  IdleCalibrator(sim::Simulator& sim, io::Device& device,
+                 IdleCalibratorOptions options);
+  IdleCalibrator(const IdleCalibrator&) = delete;
+  IdleCalibrator& operator=(const IdleCalibrator&) = delete;
+
+  /// Launches the background task. Call at most once.
+  void Start();
+
+  /// Requests a stop; takes effect before the next point is measured.
+  void Stop() { stop_requested_ = true; }
+
+  bool started() const { return started_; }
+  /// True once every grid point is measured or defaulted.
+  bool complete() const;
+  int points_measured() const { return points_measured_; }
+  int points_defaulted() const { return points_defaulted_; }
+
+  /// The (possibly partial) model. Lookups require complete().
+  const QdttModel& model() const { return model_; }
+
+  /// The finished model, if calibration completed.
+  std::optional<QdttModel> FinishedModel() const;
+
+ private:
+  struct GridPoint {
+    size_t band_idx;
+    size_t qd_idx;
+  };
+
+  sim::Task Loop();
+  /// True when the device has been quiet for the idle threshold.
+  bool DeviceIdle() const;
+  void ApplyEarlyStopDefaults();
+
+  sim::Simulator& sim_;
+  io::Device& device_;
+  IdleCalibratorOptions options_;
+  Calibrator calibrator_;
+  QdttModel model_;
+  std::vector<GridPoint> pending_;  // in calibration order, front = next
+  size_t next_point_ = 0;
+  int points_measured_ = 0;
+  int points_defaulted_ = 0;
+  bool started_ = false;
+  bool stop_requested_ = false;
+  uint64_t seed_;
+  // Idle detection state: last observed completion count and when it was
+  // first seen unchanged.
+  mutable uint64_t last_reads_seen_ = 0;
+  mutable double quiet_since_ = 0.0;
+};
+
+}  // namespace pioqo::core
+
+#endif  // PIOQO_CORE_IDLE_CALIBRATOR_H_

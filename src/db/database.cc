@@ -1,0 +1,196 @@
+#include "db/database.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+#include "storage/btree.h"
+
+namespace pioqo::db {
+
+Database::Database(DatabaseOptions options)
+    : options_(options),
+      device_(io::MakeDevice(sim_, options.device)),
+      disk_(*device_),
+      pool_(disk_, options.pool_pages),
+      cpu_(sim_, options.constants.logical_cores,
+           options.constants.physical_cores, options.constants.smt_penalty) {}
+
+Status Database::CreateTable(const storage::DatasetConfig& config) {
+  if (tables_.contains(config.name)) {
+    return Status::InvalidArgument("table exists: " + config.name);
+  }
+  PIOQO_ASSIGN_OR_RETURN(storage::Dataset ds,
+                         storage::BuildDataset(disk_, config));
+
+  // Build the C2 statistics the optimizer consults (sampled for big
+  // tables, like a real ANALYZE).
+  const uint64_t sample_target = 100'000;
+  const uint64_t stride =
+      std::max<uint64_t>(1, ds.table.num_rows() / sample_target);
+  std::vector<int32_t> sample;
+  sample.reserve(ds.table.num_rows() / stride + 1);
+  for (uint64_t n = 0; n < ds.table.num_rows(); n += stride) {
+    const storage::RowId rid = ds.table.NthRowId(n);
+    sample.push_back(ds.table.GetColumn(disk_.PageData(rid.page), rid.slot,
+                                        storage::kColumnC2));
+  }
+  PIOQO_ASSIGN_OR_RETURN(core::EquiWidthHistogram histogram,
+                         core::EquiWidthHistogram::Build(sample, 128));
+
+  histograms_.emplace(config.name, std::move(histogram));
+  tables_.emplace(config.name, std::move(ds));
+  return Status::OK();
+}
+
+StatusOr<const core::EquiWidthHistogram*> Database::HistogramFor(
+    const std::string& table) const {
+  auto it = histograms_.find(table);
+  if (it == histograms_.end()) return Status::NotFound("no histogram " + table);
+  return &it->second;
+}
+
+StatusOr<double> Database::EstimatedSelectivityOf(
+    const std::string& table, exec::RangePredicate pred) const {
+  PIOQO_ASSIGN_OR_RETURN(const core::EquiWidthHistogram* histogram,
+                         HistogramFor(table));
+  if (pred.empty()) return 0.0;
+  return histogram->EstimateRangeSelectivity(pred.low, pred.high);
+}
+
+StatusOr<const storage::Dataset*> Database::GetTable(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table " + name);
+  return &it->second;
+}
+
+core::CalibrationResult Database::Calibrate() {
+  core::Calibrator calibrator(sim_, *device_, options_.calibration);
+  core::CalibrationResult result = calibrator.Calibrate();
+  qdtt_ = result.model;
+  return result;
+}
+
+void Database::InstallModel(core::QdttModel model) {
+  PIOQO_CHECK(model.complete());
+  qdtt_ = std::move(model);
+}
+
+const core::QdttModel& Database::qdtt() const {
+  PIOQO_CHECK(qdtt_.has_value()) << "database not calibrated";
+  return *qdtt_;
+}
+
+core::TableProfile Database::ProfileFor(
+    const storage::Dataset& dataset) const {
+  core::TableProfile profile;
+  profile.table_pages = dataset.table.num_pages();
+  profile.rows = dataset.table.num_rows();
+  profile.rows_per_page = dataset.table.rows_per_page();
+  profile.index_height = dataset.index_c2.height();
+  profile.index_leaves = dataset.index_c2.num_leaves();
+  profile.pool_pages = pool_.capacity();
+  // Live cached statistic (the paper's experiments flush the pool before
+  // each run, making this 0 there).
+  profile.cached_fraction =
+      static_cast<double>(pool_.ResidentInRange(
+          dataset.table.first_page(), dataset.table.num_pages())) /
+      static_cast<double>(dataset.table.num_pages());
+  return profile;
+}
+
+StatusOr<double> Database::SelectivityOf(const std::string& table,
+                                         exec::RangePredicate pred) const {
+  PIOQO_ASSIGN_OR_RETURN(const storage::Dataset* ds, GetTable(table));
+  if (pred.empty()) return 0.0;
+  const uint64_t count = ds->index_c2.CountRange(disk_, pred.low, pred.high);
+  return static_cast<double>(count) / static_cast<double>(ds->table.num_rows());
+}
+
+StatusOr<exec::ScanResult> Database::ExecuteScan(const std::string& table,
+                                                 exec::RangePredicate pred,
+                                                 core::AccessMethod method,
+                                                 int dop, int prefetch_depth,
+                                                 bool flush_pool) {
+  PIOQO_ASSIGN_OR_RETURN(const storage::Dataset* ds, GetTable(table));
+  if (dop < 1 || dop > options_.constants.max_parallel_degree) {
+    return Status::InvalidArgument("bad parallel degree");
+  }
+  if (flush_pool) pool_.Clear();
+  exec::ExecContext ctx{sim_, cpu_, pool_, options_.constants};
+  switch (method) {
+    case core::AccessMethod::kFts:
+    case core::AccessMethod::kPfts:
+      return exec::RunFullTableScan(ctx, ds->table, pred, dop);
+    case core::AccessMethod::kIs:
+    case core::AccessMethod::kPis:
+      return exec::RunIndexScan(ctx, ds->table, ds->index_c2, pred, dop,
+                                prefetch_depth);
+    case core::AccessMethod::kSortedIs:
+      return exec::RunSortedIndexScan(ctx, ds->table, ds->index_c2, pred, dop,
+                                      prefetch_depth);
+  }
+  return Status::Internal("unreachable");
+}
+
+StatusOr<std::vector<exec::ScanResult>> Database::ExecuteConcurrentScans(
+    const std::vector<ConcurrentScanSpec>& specs, bool flush_pool) {
+  std::vector<exec::ScanSpec> exec_specs;
+  exec_specs.reserve(specs.size());
+  for (const auto& spec : specs) {
+    PIOQO_ASSIGN_OR_RETURN(const storage::Dataset* ds, GetTable(spec.table));
+    if (spec.dop < 1 || spec.dop > options_.constants.max_parallel_degree) {
+      return Status::InvalidArgument("bad parallel degree");
+    }
+    exec::ScanSpec es;
+    es.table = &ds->table;
+    es.pred = spec.pred;
+    es.dop = spec.dop;
+    es.prefetch_depth = spec.prefetch_depth;
+    switch (spec.method) {
+      case core::AccessMethod::kFts:
+      case core::AccessMethod::kPfts:
+        es.index = nullptr;
+        break;
+      case core::AccessMethod::kIs:
+      case core::AccessMethod::kPis:
+        es.index = &ds->index_c2;
+        break;
+      case core::AccessMethod::kSortedIs:
+        es.index = &ds->index_c2;
+        es.sorted = true;
+        break;
+    }
+    exec_specs.push_back(es);
+  }
+  if (flush_pool) pool_.Clear();
+  exec::ExecContext ctx{sim_, cpu_, pool_, options_.constants};
+  return exec::RunConcurrentScans(ctx, exec_specs);
+}
+
+StatusOr<Database::QueryOutcome> Database::ExecuteQuery(
+    const std::string& table, exec::RangePredicate pred,
+    bool queue_depth_aware, bool flush_pool, opt::OptimizerOptions options) {
+  if (!calibrated()) {
+    return Status::FailedPrecondition("calibrate the database first");
+  }
+  PIOQO_ASSIGN_OR_RETURN(const storage::Dataset* ds, GetTable(table));
+  // Plans are costed from the histogram estimate, as a production optimizer
+  // would (the executed result is exact regardless).
+  PIOQO_ASSIGN_OR_RETURN(double selectivity,
+                         EstimatedSelectivityOf(table, pred));
+
+  options.queue_depth_aware = queue_depth_aware;
+  opt::Optimizer optimizer(*qdtt_, options_.constants, options);
+  QueryOutcome outcome;
+  outcome.optimization = optimizer.ChooseAccessPath(ProfileFor(*ds), selectivity);
+
+  const auto& plan = outcome.optimization.chosen;
+  PIOQO_ASSIGN_OR_RETURN(
+      outcome.scan, ExecuteScan(table, pred, plan.method, plan.dop,
+                                plan.prefetch_depth, flush_pool));
+  return outcome;
+}
+
+}  // namespace pioqo::db

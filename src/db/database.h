@@ -1,0 +1,133 @@
+#ifndef PIOQO_DB_DATABASE_H_
+#define PIOQO_DB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "core/calibrator.h"
+#include "core/cost_constants.h"
+#include "core/cost_model.h"
+#include "core/histogram.h"
+#include "core/qdtt_model.h"
+#include "exec/scan_operators.h"
+#include "io/device_factory.h"
+#include "opt/optimizer.h"
+#include "sim/cpu.h"
+#include "sim/simulator.h"
+#include "storage/buffer_pool.h"
+#include "storage/data_generator.h"
+#include "storage/disk_image.h"
+
+namespace pioqo::db {
+
+struct DatabaseOptions {
+  io::DeviceKind device = io::DeviceKind::kSsdConsumer;
+  /// Buffer pool frames. The paper keeps this small (64 MB) relative to the
+  /// tables "to factor out the impact of memory buffer pool".
+  uint32_t pool_pages = 2048;
+  core::CostConstants constants;
+  /// Calibration settings used by Calibrate(); the defaults keep a full
+  /// grid calibration around a second of host time.
+  core::CalibratorOptions calibration;
+};
+
+/// The top-level facade: one simulated host (clock, 8 logical cores), one
+/// storage device with its disk image and buffer pool, any number of
+/// generated tables with C2 indexes, a QDTT calibration, and the
+/// access-path optimizer — everything needed to reproduce the paper's
+/// experiments in a few lines (see examples/quickstart.cc).
+class Database {
+ public:
+  explicit Database(DatabaseOptions options);
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Generates and loads a table (plus its C2 index) onto the device.
+  Status CreateTable(const storage::DatasetConfig& config);
+
+  StatusOr<const storage::Dataset*> GetTable(const std::string& name) const;
+
+  /// Runs the QDTT calibration against this database's device and installs
+  /// the model for the optimizer. Must be called before ExecuteQuery.
+  core::CalibrationResult Calibrate();
+
+  /// Installs an externally calibrated/deserialized model instead.
+  void InstallModel(core::QdttModel model);
+  bool calibrated() const { return qdtt_.has_value(); }
+  const core::QdttModel& qdtt() const;
+
+  /// Executes query Q with a forced plan. If `flush_pool`, the buffer pool
+  /// is emptied first (the paper flushes it "to factor out the impact of
+  /// pages which are already in memory").
+  StatusOr<exec::ScanResult> ExecuteScan(const std::string& table,
+                                         exec::RangePredicate pred,
+                                         core::AccessMethod method, int dop,
+                                         int prefetch_depth, bool flush_pool);
+
+  struct QueryOutcome {
+    opt::OptimizationResult optimization;
+    exec::ScanResult scan;
+  };
+
+  /// One member of a concurrent workload (forced plan).
+  struct ConcurrentScanSpec {
+    std::string table;
+    exec::RangePredicate pred;
+    core::AccessMethod method = core::AccessMethod::kFts;
+    int dop = 1;
+    int prefetch_depth = 0;
+  };
+
+  /// Runs all scans concurrently on the shared device/CPU/pool — the
+  /// paper's future-work scenario. Results are in spec order; each carries
+  /// its own completion time and the mix-wide device measurements.
+  StatusOr<std::vector<exec::ScanResult>> ExecuteConcurrentScans(
+      const std::vector<ConcurrentScanSpec>& specs, bool flush_pool);
+
+  /// Plans Q with the optimizer (QDTT if `queue_depth_aware`, the legacy
+  /// DTT costing otherwise) and executes the winning plan.
+  StatusOr<QueryOutcome> ExecuteQuery(const std::string& table,
+                                      exec::RangePredicate pred,
+                                      bool queue_depth_aware, bool flush_pool,
+                                      opt::OptimizerOptions options = {});
+
+  /// Optimizer-facing statistics for a table.
+  core::TableProfile ProfileFor(const storage::Dataset& dataset) const;
+
+  /// Exact selectivity of `pred` on `table` (via the index; used as ground
+  /// truth by tests and experiment harnesses).
+  StatusOr<double> SelectivityOf(const std::string& table,
+                                 exec::RangePredicate pred) const;
+
+  /// Histogram-based selectivity estimate — what the optimizer actually
+  /// consults (an equi-width histogram on C2 built at load time).
+  StatusOr<double> EstimatedSelectivityOf(const std::string& table,
+                                          exec::RangePredicate pred) const;
+
+  StatusOr<const core::EquiWidthHistogram*> HistogramFor(
+      const std::string& table) const;
+
+  sim::Simulator& simulator() { return sim_; }
+  io::Device& device() { return *device_; }
+  storage::BufferPool& pool() { return pool_; }
+  storage::DiskImage& disk() { return disk_; }
+  const DatabaseOptions& options() const { return options_; }
+
+ private:
+  DatabaseOptions options_;
+  sim::Simulator sim_;
+  std::unique_ptr<io::Device> device_;
+  storage::DiskImage disk_;
+  storage::BufferPool pool_;
+  sim::CpuScheduler cpu_;
+  std::map<std::string, storage::Dataset> tables_;
+  std::map<std::string, core::EquiWidthHistogram> histograms_;
+  std::optional<core::QdttModel> qdtt_;
+};
+
+}  // namespace pioqo::db
+
+#endif  // PIOQO_DB_DATABASE_H_

@@ -1,0 +1,41 @@
+#include "db/experiment_config.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pioqo::db {
+
+std::vector<ExperimentConfig> PaperExperimentConfigs(double scale) {
+  PIOQO_CHECK(scale > 0.0 && scale <= 1.0);
+  // Default table footprint: 16K data pages (64 MiB) per table, against an
+  // 8 MiB pool — the paper's "small memory buffer pool" regime. T500 gets
+  // fewer pages to keep its row count (pages x 500) manageable.
+  const auto pages = [scale](uint32_t full) {
+    return std::max<uint32_t>(512, static_cast<uint32_t>(
+                                       std::llround(full * scale)));
+  };
+  std::vector<ExperimentConfig> configs;
+  for (auto device : {io::DeviceKind::kHdd7200, io::DeviceKind::kSsdConsumer}) {
+    const std::string suffix =
+        device == io::DeviceKind::kHdd7200 ? "-HDD" : "-SSD";
+    configs.push_back(
+        ExperimentConfig{"E1" + suffix, "T1", 1, device, pages(16384)});
+    configs.push_back(
+        ExperimentConfig{"E33" + suffix, "T33", 33, device, pages(16384)});
+    configs.push_back(
+        ExperimentConfig{"E500" + suffix, "T500", 500, device, pages(12288)});
+  }
+  return configs;
+}
+
+ExperimentConfig PaperExperimentConfig(const std::string& id, double scale) {
+  for (const auto& config : PaperExperimentConfigs(scale)) {
+    if (config.id == id) return config;
+  }
+  PIOQO_LOG_FATAL << "unknown experiment id: " << id;
+  return {};
+}
+
+}  // namespace pioqo::db

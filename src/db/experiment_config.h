@@ -1,0 +1,64 @@
+#ifndef PIOQO_DB_EXPERIMENT_CONFIG_H_
+#define PIOQO_DB_EXPERIMENT_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "io/device_factory.h"
+#include "storage/data_generator.h"
+
+namespace pioqo::db {
+
+/// One row of the paper's Table 1: a table layout x device pairing
+/// (E1-HDD, E1-SSD, E33-HDD, E33-SSD, E500-HDD, E500-SSD).
+struct ExperimentConfig {
+  std::string id;          // e.g. "E33-SSD"
+  std::string table_name;  // e.g. "T33"
+  uint32_t rows_per_page;
+  io::DeviceKind device;
+
+  /// Data pages the table occupies (scaled down from the paper's
+  /// multi-gigabyte tables; see DESIGN.md "Scaling defaults"). The pool
+  /// stays small relative to this, preserving the paper's regime.
+  uint32_t data_pages;
+
+  uint64_t num_rows() const {
+    return static_cast<uint64_t>(data_pages) * rows_per_page;
+  }
+
+  storage::DatasetConfig DatasetConfigFor(uint64_t seed = 42) const {
+    storage::DatasetConfig cfg;
+    cfg.name = table_name;
+    cfg.num_rows = num_rows();
+    cfg.rows_per_page = rows_per_page;
+    cfg.c2_domain = 1 << 30;
+    cfg.seed = seed;
+    // Scaled-down fill factor: keeps leaves-per-selectivity-range (and thus
+    // PIS's leaf-granular parallelism) proportionate to the paper's
+    // multi-gigabyte tables. See DESIGN.md "Scaling defaults".
+    cfg.index_leaf_fill = 64;
+    return cfg;
+  }
+
+  DatabaseOptions DatabaseOptionsFor() const {
+    DatabaseOptions opts;
+    opts.device = device;
+    opts.pool_pages = 2048;  // 8 MiB vs >= 64 MiB tables: "small" regime
+    // Keep full calibrations quick inside experiments.
+    opts.calibration.max_pages_per_point = 800;
+    return opts;
+  }
+};
+
+/// The six configurations of the paper's Table 1. `scale` in (0, 1]
+/// shrinks the tables proportionally for quick runs.
+std::vector<ExperimentConfig> PaperExperimentConfigs(double scale = 1.0);
+
+/// Looks up one configuration by id (e.g. "E500-HDD"); aborts on typo.
+ExperimentConfig PaperExperimentConfig(const std::string& id,
+                                       double scale = 1.0);
+
+}  // namespace pioqo::db
+
+#endif  // PIOQO_DB_EXPERIMENT_CONFIG_H_

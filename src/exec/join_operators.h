@@ -1,0 +1,42 @@
+#ifndef PIOQO_EXEC_JOIN_OPERATORS_H_
+#define PIOQO_EXEC_JOIN_OPERATORS_H_
+
+#include "exec/query.h"
+#include "exec/scan_operators.h"
+#include "storage/btree.h"
+#include "storage/table.h"
+
+namespace pioqo::exec {
+
+/// Result of a join execution.
+struct JoinResult {
+  uint64_t outer_rows_examined = 0;
+  uint64_t probes = 0;          // index lookups into the inner table
+  uint64_t rows_joined = 0;     // matching (outer, inner) pairs
+  int64_t sum_c1 = 0;           // SUM(outer.C1 + inner.C1) over matches
+  double runtime_us = 0.0;
+  double avg_queue_depth = 0.0;
+  uint64_t device_reads = 0;
+};
+
+/// Parallel index nested-loop join — the paper's "more complex database
+/// operators" future work, built from the same primitives as PIS.
+///
+///   SELECT SUM(outer.C1 + inner.C1)
+///   FROM outer JOIN inner ON outer.C2 = inner.C2
+///   WHERE outer.C2 BETWEEN pred.low AND pred.high
+///
+/// `dop` workers share the outer table's pages (sequential, block-
+/// prefetched, like PFTS); for each qualifying outer row a worker probes
+/// the inner table's C2 index root-to-leaf and fetches the matching inner
+/// rows' pages. The probe phase is random I/O over the inner table whose
+/// queue depth tracks `dop` — exactly the pattern the QDTT model prices.
+JoinResult RunIndexNestedLoopJoin(ExecContext& ctx,
+                                  const storage::Table& outer,
+                                  const storage::Table& inner,
+                                  const storage::BPlusTree& inner_index,
+                                  RangePredicate pred, int dop);
+
+}  // namespace pioqo::exec
+
+#endif  // PIOQO_EXEC_JOIN_OPERATORS_H_

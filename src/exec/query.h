@@ -1,0 +1,21 @@
+#ifndef PIOQO_EXEC_QUERY_H_
+#define PIOQO_EXEC_QUERY_H_
+
+#include <cstdint>
+
+namespace pioqo::exec {
+
+/// The scan predicate of the paper's benchmark query
+///   Q: SELECT MAX(C1) FROM Ti WHERE C2 BETWEEN low AND high
+/// (inclusive on both ends). low > high selects nothing.
+struct RangePredicate {
+  int32_t low = 0;
+  int32_t high = 0;
+
+  bool Matches(int32_t value) const { return value >= low && value <= high; }
+  bool empty() const { return low > high; }
+};
+
+}  // namespace pioqo::exec
+
+#endif  // PIOQO_EXEC_QUERY_H_

@@ -1,0 +1,587 @@
+#include "exec/scan_operators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.h"
+#include "io/device.h"
+#include "storage/data_generator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace pioqo::exec {
+namespace {
+
+using storage::BPlusTree;
+using storage::kInvalidPageId;
+using storage::PageId;
+
+/// Shared MAX(C1) accumulator (single simulated timeline, so plain fields).
+struct Aggregate {
+  bool found = false;
+  int32_t max_c1 = 0;
+  uint64_t rows_matched = 0;
+  uint64_t rows_examined = 0;
+
+  void Accumulate(int32_t c1) {
+    if (!found || c1 > max_c1) {
+      found = true;
+      max_c1 = c1;
+    }
+    ++rows_matched;
+  }
+};
+
+/// Snapshot device+pool counters around a run and fold them into a result.
+class Measurement {
+ public:
+  explicit Measurement(ExecContext& ctx)
+      : ctx_(ctx),
+        start_time_(ctx.sim.Now()),
+        start_pool_(ctx.pool.stats()) {
+    ctx_.pool.disk().device().stats().Reset();
+  }
+
+  ScanResult Finish(const Aggregate& agg) {
+    ScanResult r;
+    r.max_c1 = agg.max_c1;
+    r.rows_matched = agg.rows_matched;
+    r.rows_examined = agg.rows_examined;
+    r.runtime_us = ctx_.sim.Now() - start_time_;
+    const auto& dev = ctx_.pool.disk().device().stats();
+    r.device_reads = dev.reads();
+    r.bytes_read = dev.bytes_read();
+    r.avg_queue_depth = dev.AverageQueueDepth(ctx_.sim.Now());
+    r.io_throughput_mbps = dev.ThroughputMbps();
+    const auto& pool = ctx_.pool.stats();
+    r.pool_hits = pool.hits - start_pool_.hits;
+    r.pool_misses = pool.misses - start_pool_.misses;
+    return r;
+  }
+
+ private:
+  ExecContext& ctx_;
+  sim::SimTime start_time_;
+  storage::BufferPoolStats start_pool_;
+};
+
+// ---------------------------------------------------------------------------
+// Full table scan
+// ---------------------------------------------------------------------------
+
+struct FtsState {
+  ExecContext& ctx;
+  const storage::Table& table;
+  RangePredicate pred;
+
+  PageId next_page;
+  PageId end_page;
+  std::vector<int32_t> block_remaining;
+  sim::Semaphore prefetch_slots;
+  sim::Semaphore page_latch;
+  sim::Latch done;
+  Aggregate agg;
+
+  FtsState(ExecContext& c, const storage::Table& t, RangePredicate p, int dop)
+      : ctx(c),
+        table(t),
+        pred(p),
+        next_page(t.first_page()),
+        end_page(t.first_page() + t.num_pages()),
+        prefetch_slots(c.sim, c.constants.fts_prefetch_blocks),
+        page_latch(c.sim, 1),
+        done(c.sim, dop) {
+    const uint32_t bp = c.constants.fts_block_pages;
+    const uint32_t blocks = (t.num_pages() + bp - 1) / bp;
+    block_remaining.assign(blocks, 0);
+    for (uint32_t b = 0; b < blocks; ++b) {
+      block_remaining[b] = static_cast<int32_t>(
+          std::min<uint32_t>(bp, t.num_pages() - b * bp));
+    }
+  }
+
+  uint32_t BlockOf(PageId p) const {
+    return (p - table.first_page()) / ctx.constants.fts_block_pages;
+  }
+};
+
+sim::Task FtsPrefetcher(FtsState& s) {
+  const uint32_t bp = s.ctx.constants.fts_block_pages;
+  for (PageId b = s.table.first_page(); b < s.end_page;
+       b += static_cast<PageId>(bp)) {
+    co_await s.prefetch_slots.WaitAcquire();
+    // Workers may already be past this block; a fully consumed block's
+    // pages are simply found resident/in flight and skipped.
+    s.ctx.pool.PrefetchBlock(b, std::min<uint32_t>(bp, s.end_page - b));
+  }
+}
+
+sim::Task FtsWorker(FtsState& s) {
+  const auto& c = s.ctx.constants;
+  co_await s.ctx.cpu.Consume(c.worker_startup_us);
+  for (;;) {
+    if (s.next_page >= s.end_page) break;
+    const PageId page = s.next_page++;
+
+    // Serialized coordination: shared counter + page latch.
+    co_await s.page_latch.WaitAcquire();
+    co_await s.ctx.cpu.Consume(c.page_latch_us);
+    s.page_latch.Release();
+
+    auto ref = co_await s.ctx.pool.Fetch(page);
+    const uint16_t rows = s.table.RowsInPage(page);
+    co_await s.ctx.cpu.Consume(c.fetch_cpu_us + c.page_overhead_cpu_us +
+                               rows * c.row_eval_cpu_us);
+    for (uint16_t slot = 0; slot < rows; ++slot) {
+      const int32_t c2 =
+          s.table.GetColumn(ref.data, slot, storage::kColumnC2);
+      if (s.pred.Matches(c2)) {
+        s.agg.Accumulate(
+            s.table.GetColumn(ref.data, slot, storage::kColumnC1));
+      }
+    }
+    s.agg.rows_examined += rows;
+    s.ctx.pool.Unpin(page);
+
+    if (--s.block_remaining[s.BlockOf(page)] == 0) {
+      s.prefetch_slots.Release();
+    }
+  }
+  s.done.CountDown();
+}
+
+// ---------------------------------------------------------------------------
+// Index scan
+// ---------------------------------------------------------------------------
+
+struct IsState {
+  ExecContext& ctx;
+  const storage::Table& table;
+  const BPlusTree& index;
+  RangePredicate pred;
+  int prefetch_depth;
+
+  sim::Channel<PageId> leaves;
+  PageId tail_leaf = kInvalidPageId;  // last leaf pushed so far
+  sim::Latch done;
+  Aggregate agg;
+
+  IsState(ExecContext& c, const storage::Table& t, const BPlusTree& idx,
+          RangePredicate p, int dop, int prefetch)
+      : ctx(c),
+        table(t),
+        index(idx),
+        pred(p),
+        prefetch_depth(prefetch),
+        leaves(c.sim),
+        done(c.sim, dop + 1) {}
+};
+
+/// Root-to-leaf descent for `key`, paying one timed page fetch per level.
+sim::Task IsDescend(IsState& s, int32_t key, PageId& out_leaf,
+                    sim::Latch& arrived) {
+  const auto& c = s.ctx.constants;
+  PageId pid = s.index.root();
+  for (;;) {
+    auto ref = co_await s.ctx.pool.Fetch(pid);
+    co_await s.ctx.cpu.Consume(c.fetch_cpu_us + c.page_overhead_cpu_us);
+    const bool leaf = BPlusTree::IsLeaf(ref.data);
+    const PageId next = leaf ? kInvalidPageId : BPlusTree::ChildFor(ref.data, key);
+    s.ctx.pool.Unpin(pid);
+    if (leaf) break;
+    pid = next;
+  }
+  out_leaf = pid;
+  arrived.CountDown();
+}
+
+/// "One worker traverses the index from root to leaf level and finds the
+/// range of leaf pages which must be accessed" — we descend for both
+/// endpoints, then feed the contiguous leaf range to the worker channel.
+sim::Task IsCoordinator(IsState& s) {
+  if (s.pred.empty()) {
+    s.leaves.Close();
+    s.done.CountDown();
+    co_return;
+  }
+  PageId leaf_lo = kInvalidPageId, leaf_hi = kInvalidPageId;
+  sim::Latch arrived(s.ctx.sim, 2);
+  IsDescend(s, s.pred.low, leaf_lo, arrived);
+  IsDescend(s, s.pred.high, leaf_hi, arrived);
+  co_await arrived.Wait();
+  PIOQO_CHECK(leaf_lo != kInvalidPageId && leaf_hi != kInvalidPageId);
+  for (PageId leaf = leaf_lo; leaf <= leaf_hi; ++leaf) {
+    s.leaves.Push(leaf);
+  }
+  s.tail_leaf = leaf_hi;
+  // The channel is closed by the worker that processes the tail leaf and
+  // finds no continuation (duplicates of `high` can spill into later
+  // leaves).
+  s.done.CountDown();
+}
+
+sim::Task IsWorker(IsState& s) {
+  const auto& c = s.ctx.constants;
+  co_await s.ctx.cpu.Consume(c.worker_startup_us);
+  for (;;) {
+    auto item = co_await s.leaves.Pop();
+    if (!item) break;
+    const PageId leaf_id = *item;
+    auto leaf = co_await s.ctx.pool.Fetch(leaf_id);
+    co_await s.ctx.cpu.Consume(c.fetch_cpu_us + c.page_overhead_cpu_us);
+
+    const uint16_t n = BPlusTree::EntryCount(leaf.data);
+    std::vector<BPlusTree::Entry> batch;
+    for (uint16_t slot = BPlusTree::LeafLowerBound(leaf.data, s.pred.low);
+         slot < n; ++slot) {
+      const auto entry = BPlusTree::LeafEntryAt(leaf.data, slot);
+      if (entry.key > s.pred.high) break;
+      batch.push_back(entry);
+    }
+
+    // Tail handling: extend the range if keys == high may continue on the
+    // next leaf, else close the channel.
+    if (leaf_id == s.tail_leaf) {
+      const bool may_continue =
+          n > 0 && BPlusTree::LeafEntryAt(leaf.data, n - 1).key <= s.pred.high;
+      const PageId next = BPlusTree::LeafNext(leaf.data);
+      if (may_continue && next != kInvalidPageId) {
+        s.tail_leaf = next;
+        s.leaves.Push(next);
+      } else {
+        s.leaves.Close();
+      }
+    }
+
+    size_t prefetched = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      // Keep up to prefetch_depth upcoming table pages of this leaf in
+      // flight; naturally shrinks near the end of the leaf.
+      const size_t horizon =
+          std::min(batch.size(), i + 1 + static_cast<size_t>(s.prefetch_depth));
+      for (prefetched = std::max(prefetched, i + 1); prefetched < horizon;
+           ++prefetched) {
+        s.ctx.pool.Prefetch(batch[prefetched].rid.page);
+      }
+
+      co_await s.ctx.cpu.Consume(c.index_entry_cpu_us);
+      auto row_page = co_await s.ctx.pool.Fetch(batch[i].rid.page);
+      co_await s.ctx.cpu.Consume(c.fetch_cpu_us + c.row_eval_cpu_us);
+      const int32_t c2 = s.table.GetColumn(row_page.data, batch[i].rid.slot,
+                                           storage::kColumnC2);
+      PIOQO_CHECK(c2 == batch[i].key) << "index entry does not match row";
+      s.agg.Accumulate(s.table.GetColumn(row_page.data, batch[i].rid.slot,
+                                         storage::kColumnC1));
+      ++s.agg.rows_examined;
+      s.ctx.pool.Unpin(batch[i].rid.page);
+    }
+    s.ctx.pool.Unpin(leaf_id);
+  }
+  s.done.CountDown();
+}
+
+
+// ---------------------------------------------------------------------------
+// Sorted index scan (Sec. 3.1's "sorted index scan" access method)
+// ---------------------------------------------------------------------------
+
+struct SortedIsState {
+  ExecContext& ctx;
+  const storage::Table& table;
+  const BPlusTree& index;
+  RangePredicate pred;
+  int dop;
+  int prefetch_depth;
+
+  /// Qualifying slots grouped by table page, ascending page order.
+  struct PageGroup {
+    PageId page;
+    std::vector<uint16_t> slots;
+  };
+  std::vector<PageGroup> groups;
+  size_t next_group = 0;
+  sim::Latch groups_ready;
+  sim::Latch done;
+  Aggregate agg;
+
+  SortedIsState(ExecContext& c, const storage::Table& t, const BPlusTree& idx,
+                RangePredicate p, int d, int prefetch)
+      : ctx(c),
+        table(t),
+        index(idx),
+        pred(p),
+        dop(d),
+        prefetch_depth(prefetch),
+        groups_ready(c.sim, 1),
+        done(c.sim, d + 1) {}
+};
+
+/// Root-to-leaf descent used by coordinators (timed page fetches).
+sim::Task DescendToLeaf(ExecContext& ctx, const BPlusTree& index, int32_t key,
+                        PageId& out_leaf, sim::Latch& arrived) {
+  const auto& c = ctx.constants;
+  PageId pid = index.root();
+  for (;;) {
+    auto ref = co_await ctx.pool.Fetch(pid);
+    co_await ctx.cpu.Consume(c.fetch_cpu_us + c.page_overhead_cpu_us);
+    const bool leaf = BPlusTree::IsLeaf(ref.data);
+    const PageId next = leaf ? kInvalidPageId : BPlusTree::ChildFor(ref.data, key);
+    ctx.pool.Unpin(pid);
+    if (leaf) break;
+    pid = next;
+  }
+  out_leaf = pid;
+  arrived.CountDown();
+}
+
+/// Walks the qualifying leaf chain, collects row ids, sorts them by page
+/// (the operator's defining "additional sorting stage"), groups by page, and
+/// releases the workers.
+sim::Task SortedIsCoordinator(SortedIsState& s) {
+  const auto& c = s.ctx.constants;
+  std::vector<storage::RowId> rids;
+  if (!s.pred.empty()) {
+    PageId leaf = kInvalidPageId;
+    sim::Latch arrived(s.ctx.sim, 1);
+    DescendToLeaf(s.ctx, s.index, s.pred.low, leaf, arrived);
+    co_await arrived.Wait();
+    while (leaf != kInvalidPageId) {
+      auto ref = co_await s.ctx.pool.Fetch(leaf);
+      co_await s.ctx.cpu.Consume(c.fetch_cpu_us + c.page_overhead_cpu_us);
+      const uint16_t n = BPlusTree::EntryCount(ref.data);
+      uint16_t slot = BPlusTree::LeafLowerBound(ref.data, s.pred.low);
+      bool past_end = false;
+      double entry_cpu = 0.0;
+      for (; slot < n; ++slot) {
+        const auto entry = BPlusTree::LeafEntryAt(ref.data, slot);
+        if (entry.key > s.pred.high) {
+          past_end = true;
+          break;
+        }
+        rids.push_back(entry.rid);
+        entry_cpu += c.index_entry_cpu_us;
+      }
+      co_await s.ctx.cpu.Consume(entry_cpu);
+      const PageId next = BPlusTree::LeafNext(ref.data);
+      s.ctx.pool.Unpin(leaf);
+      leaf = past_end ? kInvalidPageId : next;
+    }
+  }
+
+  // The sorting stage: O(k log k) CPU, then group by page.
+  if (!rids.empty()) {
+    const double k = static_cast<double>(rids.size());
+    co_await s.ctx.cpu.Consume(k * std::log2(std::max(k, 2.0)) *
+                               c.sort_entry_cpu_us);
+    std::sort(rids.begin(), rids.end());
+    for (const auto& rid : rids) {
+      if (s.groups.empty() || s.groups.back().page != rid.page) {
+        s.groups.push_back(SortedIsState::PageGroup{rid.page, {}});
+      }
+      s.groups.back().slots.push_back(rid.slot);
+    }
+  }
+  s.groups_ready.CountDown();
+  s.done.CountDown();
+}
+
+sim::Task SortedIsWorker(SortedIsState& s) {
+  const auto& c = s.ctx.constants;
+  co_await s.ctx.cpu.Consume(c.worker_startup_us);
+  co_await s.groups_ready.Wait();
+  for (;;) {
+    if (s.next_group >= s.groups.size()) break;
+    const size_t i = s.next_group++;
+    // Keep upcoming pages in flight; Prefetch dedups pages other workers
+    // already requested.
+    const size_t horizon = std::min(
+        s.groups.size(), i + 1 + static_cast<size_t>(s.prefetch_depth));
+    for (size_t p = i + 1; p < horizon; ++p) {
+      s.ctx.pool.Prefetch(s.groups[p].page);
+    }
+    const auto& group = s.groups[i];
+    auto ref = co_await s.ctx.pool.Fetch(group.page);
+    co_await s.ctx.cpu.Consume(c.fetch_cpu_us + c.page_overhead_cpu_us +
+                               static_cast<double>(group.slots.size()) *
+                                   c.row_eval_cpu_us);
+    for (uint16_t slot : group.slots) {
+      const int32_t c2 = s.table.GetColumn(ref.data, slot, storage::kColumnC2);
+      PIOQO_CHECK(s.pred.Matches(c2)) << "sorted rid does not match";
+      s.agg.Accumulate(s.table.GetColumn(ref.data, slot, storage::kColumnC1));
+      ++s.agg.rows_examined;
+    }
+    s.ctx.pool.Unpin(group.page);
+  }
+  s.done.CountDown();
+}
+
+// ---------------------------------------------------------------------------
+// Spawnable jobs (shared by the single-scan drivers and RunConcurrentScans)
+// ---------------------------------------------------------------------------
+
+/// A scan in flight: owns its operator state; completion is observed via
+/// the state's latch.
+class ScanJob {
+ public:
+  virtual ~ScanJob() = default;
+  virtual sim::Latch& latch() = 0;
+  virtual const Aggregate& agg() const = 0;
+};
+
+class FtsJob : public ScanJob {
+ public:
+  FtsJob(ExecContext& ctx, const storage::Table& table, RangePredicate pred,
+         int dop)
+      : state_(ctx, table, pred, dop) {
+    FtsPrefetcher(state_);
+    for (int w = 0; w < dop; ++w) FtsWorker(state_);
+  }
+  sim::Latch& latch() override { return state_.done; }
+  const Aggregate& agg() const override { return state_.agg; }
+
+ private:
+  FtsState state_;
+};
+
+class IsJob : public ScanJob {
+ public:
+  IsJob(ExecContext& ctx, const storage::Table& table, const BPlusTree& index,
+        RangePredicate pred, int dop, int prefetch)
+      : state_(ctx, table, index, pred, dop, prefetch) {
+    IsCoordinator(state_);
+    for (int w = 0; w < dop; ++w) IsWorker(state_);
+  }
+  sim::Latch& latch() override { return state_.done; }
+  const Aggregate& agg() const override { return state_.agg; }
+
+ private:
+  IsState state_;
+};
+
+class SortedIsJob : public ScanJob {
+ public:
+  SortedIsJob(ExecContext& ctx, const storage::Table& table,
+              const BPlusTree& index, RangePredicate pred, int dop,
+              int prefetch)
+      : state_(ctx, table, index, pred, dop, prefetch) {
+    SortedIsCoordinator(state_);
+    for (int w = 0; w < dop; ++w) SortedIsWorker(state_);
+  }
+  sim::Latch& latch() override { return state_.done; }
+  const Aggregate& agg() const override { return state_.agg; }
+
+ private:
+  SortedIsState state_;
+};
+
+/// Clamp a requested per-worker prefetch depth so dop workers cannot wedge
+/// the pool (each may pin a leaf + a row page with prefetches in flight).
+int ClampPrefetch(const ExecContext& ctx, int dop, int prefetch_depth) {
+  const int max_prefetch = std::max<int>(
+      0, static_cast<int>(ctx.pool.capacity()) / (2 * dop) - 4);
+  return std::min(prefetch_depth, max_prefetch);
+}
+
+sim::Task WatchCompletion(sim::Simulator& sim, sim::Latch& latch,
+                          double* finish_time) {
+  co_await latch.Wait();
+  *finish_time = sim.Now();
+}
+
+}  // namespace
+
+std::string ScanResult::ToString() const {
+  std::ostringstream out;
+  out << "runtime " << static_cast<int64_t>(runtime_us) << "us, rows "
+      << rows_matched << "/" << rows_examined << ", reads " << device_reads
+      << " (" << bytes_read / 1024 / 1024 << " MiB), avg qd "
+      << avg_queue_depth << ", " << io_throughput_mbps << " MB/s";
+  return out.str();
+}
+
+ScanResult RunFullTableScan(ExecContext& ctx, const storage::Table& table,
+                            RangePredicate pred, int dop) {
+  PIOQO_CHECK(dop >= 1);
+  Measurement measurement(ctx);
+  FtsJob job(ctx, table, pred, dop);
+  ctx.sim.Run();
+  PIOQO_CHECK(job.latch().done());
+  return measurement.Finish(job.agg());
+}
+
+ScanResult RunIndexScan(ExecContext& ctx, const storage::Table& table,
+                        const storage::BPlusTree& index, RangePredicate pred,
+                        int dop, int prefetch_depth) {
+  PIOQO_CHECK(dop >= 1);
+  PIOQO_CHECK(prefetch_depth >= 0);
+  Measurement measurement(ctx);
+  IsJob job(ctx, table, index, pred, dop,
+            ClampPrefetch(ctx, dop, prefetch_depth));
+  ctx.sim.Run();
+  PIOQO_CHECK(job.latch().done());
+  return measurement.Finish(job.agg());
+}
+
+ScanResult RunSortedIndexScan(ExecContext& ctx, const storage::Table& table,
+                              const storage::BPlusTree& index,
+                              RangePredicate pred, int dop,
+                              int prefetch_depth) {
+  PIOQO_CHECK(dop >= 1);
+  PIOQO_CHECK(prefetch_depth >= 0);
+  Measurement measurement(ctx);
+  SortedIsJob job(ctx, table, index, pred, dop,
+                  ClampPrefetch(ctx, dop, prefetch_depth));
+  ctx.sim.Run();
+  PIOQO_CHECK(job.latch().done());
+  return measurement.Finish(job.agg());
+}
+
+std::vector<ScanResult> RunConcurrentScans(ExecContext& ctx,
+                                           const std::vector<ScanSpec>& specs) {
+  Measurement measurement(ctx);
+  const double start = ctx.sim.Now();
+  std::vector<std::unique_ptr<ScanJob>> jobs;
+  std::vector<double> finish_times(specs.size(), -1.0);
+  jobs.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const ScanSpec& spec = specs[i];
+    PIOQO_CHECK(spec.table != nullptr);
+    PIOQO_CHECK(spec.dop >= 1);
+    if (spec.index == nullptr) {
+      jobs.push_back(std::make_unique<FtsJob>(ctx, *spec.table, spec.pred,
+                                              spec.dop));
+    } else if (spec.sorted) {
+      jobs.push_back(std::make_unique<SortedIsJob>(
+          ctx, *spec.table, *spec.index, spec.pred, spec.dop,
+          ClampPrefetch(ctx, spec.dop, spec.prefetch_depth)));
+    } else {
+      jobs.push_back(std::make_unique<IsJob>(
+          ctx, *spec.table, *spec.index, spec.pred, spec.dop,
+          ClampPrefetch(ctx, spec.dop, spec.prefetch_depth)));
+    }
+    WatchCompletion(ctx.sim, jobs.back()->latch(), &finish_times[i]);
+  }
+  ctx.sim.Run();
+
+  // The mix-wide measurement (device queue depth, throughput) applies to
+  // every stream; per-stream runtime is each scan's own completion.
+  ScanResult mix = measurement.Finish(Aggregate{});
+  std::vector<ScanResult> results;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    PIOQO_CHECK(jobs[i]->latch().done());
+    PIOQO_CHECK(finish_times[i] >= 0.0);
+    ScanResult r = mix;
+    const Aggregate& agg = jobs[i]->agg();
+    r.max_c1 = agg.max_c1;
+    r.rows_matched = agg.rows_matched;
+    r.rows_examined = agg.rows_examined;
+    r.runtime_us = finish_times[i] - start;
+    results.push_back(r);
+  }
+  return results;
+}
+
+}  // namespace pioqo::exec

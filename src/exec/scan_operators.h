@@ -1,0 +1,95 @@
+#ifndef PIOQO_EXEC_SCAN_OPERATORS_H_
+#define PIOQO_EXEC_SCAN_OPERATORS_H_
+
+#include <vector>
+
+#include "core/cost_constants.h"
+#include "exec/query.h"
+#include "exec/scan_result.h"
+#include "sim/cpu.h"
+#include "sim/simulator.h"
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/table.h"
+
+namespace pioqo::exec {
+
+/// Shared execution environment: the simulated host (clock + cores), the
+/// buffer pool over the experiment disk, and the CPU cost coefficients the
+/// operators charge.
+struct ExecContext {
+  sim::Simulator& sim;
+  sim::CpuScheduler& cpu;
+  storage::BufferPool& pool;
+  core::CostConstants constants;
+};
+
+/// Executes a (parallel) full table scan of the paper's query Q and returns
+/// when the simulation has drained (Sec. 2, Fig. 2).
+///
+/// `dop` workers share a page counter; a prefetcher keeps
+/// `constants.fts_prefetch_blocks` block reads of
+/// `constants.fts_block_pages` pages in flight ahead of them. Every row of
+/// every page is evaluated against `pred`; qualifying rows feed MAX(C1).
+///
+/// dop == 1 is the paper's FTS; dop > 1 is PFTS.
+ScanResult RunFullTableScan(ExecContext& ctx, const storage::Table& table,
+                            RangePredicate pred, int dop);
+
+/// Executes a (parallel) index scan of query Q (Sec. 2, Fig. 3; prefetching
+/// variant of Sec. 3.3).
+///
+/// A coordinator descends the index for both range endpoints and hands the
+/// qualifying leaf pages to `dop` workers one at a time. Each worker walks
+/// its leaf's (key, row_id) entries, optionally prefetching up to
+/// `prefetch_depth` upcoming table pages referenced by the *same* leaf (the
+/// paper's simplification: "we only prefetch table pages referenced by a
+/// single index leaf page", with the depth shrinking near the leaf's end).
+///
+/// dop == 1, prefetch 0 is the paper's IS; dop > 1 is PIS.
+ScanResult RunIndexScan(ExecContext& ctx, const storage::Table& table,
+                        const storage::BPlusTree& index, RangePredicate pred,
+                        int dop, int prefetch_depth);
+
+/// Executes a *sorted* index scan (the access method of paper Sec. 3.1 that
+/// SQL Anywhere lacked: "before fetching table pages, row identifiers are
+/// sorted in the order of page id. In this way, each table page will be
+/// fetched at most once").
+///
+/// A coordinator walks the qualifying leaf chain collecting row ids, sorts
+/// them by page, then `dop` workers fetch each distinct page exactly once
+/// (in ascending page order — which also earns the HDD's elevator
+/// behaviour), prefetching up to `prefetch_depth` upcoming pages each.
+/// Does not preserve index key order (irrelevant for MAX).
+ScanResult RunSortedIndexScan(ExecContext& ctx, const storage::Table& table,
+                              const storage::BPlusTree& index,
+                              RangePredicate pred, int dop,
+                              int prefetch_depth);
+
+// ---------------------------------------------------------------------------
+// Concurrent execution (the paper's future work: "consideration of
+// concurrent requests")
+// ---------------------------------------------------------------------------
+
+/// One scan of a multi-query workload.
+struct ScanSpec {
+  const storage::Table* table = nullptr;
+  /// Null for a full table scan.
+  const storage::BPlusTree* index = nullptr;
+  RangePredicate pred;
+  bool sorted = false;  // sorted index scan variant (only if index != null)
+  int dop = 1;
+  int prefetch_depth = 0;
+};
+
+/// Starts every scan at the same simulated instant on the shared device /
+/// CPU / buffer pool and runs the simulation until all complete. Each
+/// result's `runtime_us` is that scan's own completion time; device-level
+/// measurements (queue depth, throughput) are for the whole mix and are
+/// repeated in every result.
+std::vector<ScanResult> RunConcurrentScans(ExecContext& ctx,
+                                           const std::vector<ScanSpec>& specs);
+
+}  // namespace pioqo::exec
+
+#endif  // PIOQO_EXEC_SCAN_OPERATORS_H_

@@ -1,0 +1,35 @@
+#ifndef PIOQO_EXEC_SCAN_RESULT_H_
+#define PIOQO_EXEC_SCAN_RESULT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pioqo::exec {
+
+/// Outcome + measurements of one scan execution.
+struct ScanResult {
+  /// MAX(C1) over qualifying rows; meaningful only if rows_matched > 0.
+  int32_t max_c1 = 0;
+  uint64_t rows_matched = 0;
+  /// Rows whose predicate was evaluated (FTS: all rows; IS: selected rows).
+  uint64_t rows_examined = 0;
+
+  /// Simulated wall-clock of the scan, microseconds.
+  double runtime_us = 0.0;
+
+  /// Device-level observations over the scan interval.
+  uint64_t device_reads = 0;
+  uint64_t bytes_read = 0;
+  double avg_queue_depth = 0.0;
+  double io_throughput_mbps = 0.0;
+
+  /// Buffer-pool observations.
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace pioqo::exec
+
+#endif  // PIOQO_EXEC_SCAN_RESULT_H_

@@ -1,0 +1,27 @@
+#include "io/device.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace pioqo::io {
+
+void Device::Submit(const IoRequest& req, CompletionFn done) {
+  PIOQO_CHECK(req.length > 0);
+  PIOQO_CHECK(req.offset + req.length <= capacity_bytes())
+      << "I/O beyond device capacity: offset=" << req.offset
+      << " length=" << req.length << " capacity=" << capacity_bytes();
+  const bool is_read = req.kind == IoRequest::Kind::kRead;
+  const sim::SimTime submit_time = sim_.Now();
+  if (trace_sink_ != nullptr) {
+    trace_sink_->push_back(TraceEntry{submit_time, req.kind, req.offset, req.length});
+  }
+  stats_.RecordSubmit(submit_time, is_read, req.length);
+  SubmitImpl(req, [this, done = std::move(done), is_read,
+                   length = req.length, submit_time] {
+    stats_.RecordComplete(sim_.Now(), is_read, length, sim_.Now() - submit_time);
+    done();
+  });
+}
+
+}  // namespace pioqo::io

@@ -1,0 +1,91 @@
+#ifndef PIOQO_IO_DEVICE_H_
+#define PIOQO_IO_DEVICE_H_
+
+#include <coroutine>
+#include <string>
+#include <vector>
+
+#include "io/device_stats.h"
+#include "io/io_request.h"
+#include "sim/simulator.h"
+
+namespace pioqo::io {
+
+/// One submitted request, for offline access-pattern analysis.
+struct TraceEntry {
+  sim::SimTime submit_time;
+  IoRequest::Kind kind;
+  uint64_t offset;
+  uint32_t length;
+};
+
+/// Abstract simulated block device.
+///
+/// Subclasses (HddDevice, SsdDevice, RaidDevice) implement `SubmitImpl` to
+/// model service timing; the base class tracks statistics. Devices are
+/// purely *timing* models: data bytes live in `storage::DiskImage`, which
+/// pairs a device with an in-memory page store.
+///
+/// All submissions are asynchronous: the completion callback fires at the
+/// simulated instant the request finishes, which is how callers (buffer
+/// pool, calibrator) generate queue depth — the central quantity of the
+/// paper.
+class Device {
+ public:
+  virtual ~Device() = default;
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  /// Submits `req`; `done` fires once at completion time.
+  void Submit(const IoRequest& req, CompletionFn done);
+
+  virtual uint64_t capacity_bytes() const = 0;
+  virtual std::string name() const = 0;
+
+  DeviceStats& stats() { return stats_; }
+  const DeviceStats& stats() const { return stats_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  /// Directs a copy of every submitted request into `sink` (nullptr stops
+  /// tracing). The sink must outlive the tracing window.
+  void set_trace_sink(std::vector<TraceEntry>* sink) { trace_sink_ = sink; }
+
+  /// Awaitable convenience wrapper: `co_await device.Read(off, len)`.
+  class IoAwaiter {
+   public:
+    IoAwaiter(Device& device, IoRequest req) : device_(device), req_(req) {}
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      device_.Submit(req_, [h] { h.resume(); });
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    Device& device_;
+    IoRequest req_;
+  };
+
+  IoAwaiter Read(uint64_t offset, uint32_t length) {
+    return IoAwaiter(*this, IoRequest{IoRequest::Kind::kRead, offset, length});
+  }
+  IoAwaiter Write(uint64_t offset, uint32_t length) {
+    return IoAwaiter(*this, IoRequest{IoRequest::Kind::kWrite, offset, length});
+  }
+
+ protected:
+  explicit Device(sim::Simulator& sim) : sim_(sim) {}
+
+  /// Models the device-specific service of `req`; must eventually invoke
+  /// `done` (exactly once) via the simulator.
+  virtual void SubmitImpl(const IoRequest& req, CompletionFn done) = 0;
+
+  sim::Simulator& sim_;
+
+ private:
+  DeviceStats stats_;
+  std::vector<TraceEntry>* trace_sink_ = nullptr;
+};
+
+}  // namespace pioqo::io
+
+#endif  // PIOQO_IO_DEVICE_H_

@@ -1,0 +1,41 @@
+#include "io/device_factory.h"
+
+#include "io/hdd_device.h"
+#include "io/raid_device.h"
+#include "io/ssd_device.h"
+
+namespace pioqo::io {
+
+std::string_view DeviceKindName(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kHdd7200:
+      return "hdd";
+    case DeviceKind::kSsdConsumer:
+      return "ssd";
+    case DeviceKind::kRaid8:
+      return "raid";
+  }
+  return "unknown";
+}
+
+StatusOr<DeviceKind> ParseDeviceKind(std::string_view name) {
+  if (name == "hdd") return DeviceKind::kHdd7200;
+  if (name == "ssd") return DeviceKind::kSsdConsumer;
+  if (name == "raid") return DeviceKind::kRaid8;
+  return Status::InvalidArgument("unknown device kind: " + std::string(name));
+}
+
+std::unique_ptr<Device> MakeDevice(sim::Simulator& sim, DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kHdd7200:
+      return std::make_unique<HddDevice>(sim, HddGeometry::Commodity7200());
+    case DeviceKind::kSsdConsumer:
+      return std::make_unique<SsdDevice>(sim, SsdGeometry::ConsumerPcie());
+    case DeviceKind::kRaid8:
+      return std::make_unique<RaidDevice>(sim, 8,
+                                          HddGeometry::Enterprise15000());
+  }
+  return nullptr;
+}
+
+}  // namespace pioqo::io

@@ -1,0 +1,30 @@
+#ifndef PIOQO_IO_DEVICE_FACTORY_H_
+#define PIOQO_IO_DEVICE_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "io/device.h"
+
+namespace pioqo::io {
+
+/// The device presets used throughout the paper's evaluation.
+enum class DeviceKind {
+  kHdd7200,      // commodity single-spindle 7200 RPM drive
+  kSsdConsumer,  // consumer PCIe SSD (max beneficial queue depth 32)
+  kRaid8,        // eight-spindle 15000 RPM RAID-0
+};
+
+std::string_view DeviceKindName(DeviceKind kind);
+
+/// Parses "hdd", "ssd" or "raid" (case-sensitive).
+StatusOr<DeviceKind> ParseDeviceKind(std::string_view name);
+
+/// Creates a device of `kind` with its preset geometry.
+std::unique_ptr<Device> MakeDevice(sim::Simulator& sim, DeviceKind kind);
+
+}  // namespace pioqo::io
+
+#endif  // PIOQO_IO_DEVICE_FACTORY_H_

@@ -1,0 +1,60 @@
+#ifndef PIOQO_IO_DEVICE_STATS_H_
+#define PIOQO_IO_DEVICE_STATS_H_
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "sim/simulator.h"
+
+namespace pioqo::io {
+
+/// Per-device counters accumulated over a measurement interval.
+///
+/// The queue depth statistic is the time-weighted average number of
+/// outstanding requests (submitted, not yet completed) — the paper's
+/// definition: "the average number of outstanding I/Os in the I/O queue at
+/// any point of time".
+class DeviceStats {
+ public:
+  void RecordSubmit(sim::SimTime now, bool is_read, uint64_t bytes);
+  void RecordComplete(sim::SimTime now, bool is_read, uint64_t bytes,
+                      double latency_us);
+
+  /// Forgets all history; the next submit starts a new interval.
+  void Reset();
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  int64_t outstanding() const { return outstanding_; }
+  const RunningStat& latency_us() const { return latency_; }
+
+  /// Time of first submit / last completion in the interval.
+  sim::SimTime first_activity() const { return first_activity_; }
+  sim::SimTime last_completion() const { return last_completion_; }
+
+  /// Average outstanding requests over [first submit, now].
+  double AverageQueueDepth(sim::SimTime now) const;
+
+  /// MB/s transferred (read + write) between first submit and last
+  /// completion; 0 if no completed I/O.
+  double ThroughputMbps() const;
+
+ private:
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t bytes_completed_ = 0;
+  int64_t outstanding_ = 0;
+  bool active_ = false;
+  sim::SimTime first_activity_ = 0.0;
+  sim::SimTime last_completion_ = 0.0;
+  RunningStat latency_;
+  TimeWeightedAverage queue_depth_;
+};
+
+}  // namespace pioqo::io
+
+#endif  // PIOQO_IO_DEVICE_STATS_H_

@@ -1,0 +1,94 @@
+#include "io/hdd_device.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace pioqo::io {
+
+HddGeometry HddGeometry::Commodity7200() { return HddGeometry{}; }
+
+HddGeometry HddGeometry::Enterprise15000() {
+  HddGeometry g;
+  g.rpm = 15000.0;
+  g.full_stroke_seek_us = 7000.0;
+  g.track_to_track_seek_us = 200.0;
+  g.transfer_mb_per_s = 160.0;
+  g.controller_overhead_us = 25.0;
+  g.capacity_bytes = 32ULL * 1024 * 1024 * 1024;
+  return g;
+}
+
+HddDevice::HddDevice(sim::Simulator& sim, HddGeometry geometry, std::string name)
+    : Device(sim), geometry_(geometry), name_(std::move(name)) {
+  PIOQO_CHECK(geometry_.ncq_depth >= 1);
+}
+
+double HddDevice::ServiceTimeUs(const IoRequest& req, uint64_t head_pos,
+                                int k) const {
+  const uint64_t dist = req.offset > head_pos ? req.offset - head_pos
+                                              : head_pos - req.offset;
+  double positioning = 0.0;
+  if (dist > 0) {
+    const double frac =
+        static_cast<double>(dist) / static_cast<double>(geometry_.capacity_bytes);
+    const double seek =
+        geometry_.track_to_track_seek_us +
+        (geometry_.full_stroke_seek_us - geometry_.track_to_track_seek_us) *
+            std::sqrt(frac);
+    // Rotational-position-aware selection: best of k candidates waits on
+    // average (rev/2)/k.
+    const double revolution_us = 60.0e6 / geometry_.rpm;
+    const double rotation = revolution_us / 2.0 / static_cast<double>(k);
+    positioning = seek + rotation;
+  }
+  const double transfer =
+      static_cast<double>(req.length) / geometry_.transfer_mb_per_s;
+  const double overhead = dist == 0 ? geometry_.sequential_overhead_us
+                                    : geometry_.controller_overhead_us;
+  return overhead + positioning + transfer;
+}
+
+void HddDevice::SubmitImpl(const IoRequest& req, CompletionFn done) {
+  queue_.push_back(Pending{req, std::move(done)});
+  StartNext();
+}
+
+void HddDevice::StartNext() {
+  // A completion callback may have synchronously submitted (and started) a
+  // new command already; never run two services concurrently.
+  if (busy_ || queue_.empty()) return;
+  // Shortest-seek-first over the NCQ window (the oldest ncq_depth commands).
+  const size_t window =
+      std::min(queue_.size(), static_cast<size_t>(geometry_.ncq_depth));
+  size_t best = 0;
+  uint64_t best_dist = UINT64_MAX;
+  for (size_t i = 0; i < window; ++i) {
+    const uint64_t off = queue_[i].req.offset;
+    const uint64_t dist = off > head_pos_ ? off - head_pos_ : head_pos_ - off;
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  Pending p = std::move(queue_[best]);
+  queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(best));
+  StartService(std::move(p));
+}
+
+void HddDevice::StartService(Pending p) {
+  busy_ = true;
+  const int k = static_cast<int>(
+      std::min<size_t>(queue_.size() + 1, static_cast<size_t>(geometry_.ncq_depth)));
+  const double service = ServiceTimeUs(p.req, head_pos_, k);
+  head_pos_ = p.req.offset + p.req.length;
+  sim_.ScheduleAfter(service, [this, done = std::move(p.done)] {
+    busy_ = false;
+    done();
+    StartNext();
+  });
+}
+
+}  // namespace pioqo::io

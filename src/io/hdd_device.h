@@ -1,0 +1,85 @@
+#ifndef PIOQO_IO_HDD_DEVICE_H_
+#define PIOQO_IO_HDD_DEVICE_H_
+
+#include <deque>
+#include <string>
+
+#include "io/device.h"
+
+namespace pioqo::io {
+
+/// Mechanical parameters of a simulated hard disk drive.
+struct HddGeometry {
+  /// Spindle speed; one revolution takes 60e6/rpm microseconds.
+  double rpm = 7200.0;
+  /// Head movement across the whole LBA range.
+  double full_stroke_seek_us = 15000.0;
+  /// Minimum (track-to-track) seek for any non-contiguous access.
+  double track_to_track_seek_us = 500.0;
+  /// Media/sequential transfer rate. 1 MB/s == 1 byte/us.
+  double transfer_mb_per_s = 110.0;
+  /// Fixed per-command controller/host-path overhead (random commands).
+  double controller_overhead_us = 30.0;
+  /// Overhead for a sequential continuation (served from the track/readahead
+  /// cache pipeline); much lower than a full command setup.
+  double sequential_overhead_us = 8.0;
+  /// Command-queue (NCQ/TCQ) window the drive reorders within.
+  int ncq_depth = 32;
+  uint64_t capacity_bytes = 64ULL * 1024 * 1024 * 1024;  // 64 GiB
+
+  /// A 7200 RPM commodity drive like the paper's (max ~110 MB/s).
+  static HddGeometry Commodity7200();
+  /// A 15000 RPM enterprise drive, used as the RAID member (Sec. 4.4).
+  static HddGeometry Enterprise15000();
+};
+
+/// Single-spindle hard disk with NCQ-style reordering.
+///
+/// Service time for a request at LBA distance `d` from the current head
+/// position is
+///
+///   overhead + seek(d) + rotation(k) + length / transfer_rate
+///
+/// with seek(d) = t2t + (full - t2t) * sqrt(d / capacity) for d > 0 (the
+/// classic square-root seek curve) and seek(0) = 0 (streaming). Rotation
+/// models rotational-position-aware command selection: with k commands in
+/// the NCQ window, the expected rotational wait of the best candidate is
+/// (half revolution) / k — this is what gives a real HDD its *mild*
+/// queue-depth benefit (paper Fig. 1: random reads at QD32 reach ~1.3% of
+/// sequential throughput, versus ~0.3% at QD1).
+///
+/// Scheduling picks the command with the smallest seek distance among the
+/// first `ncq_depth` queued commands (shortest-positioning-time-first).
+class HddDevice : public Device {
+ public:
+  HddDevice(sim::Simulator& sim, HddGeometry geometry, std::string name = "hdd");
+
+  uint64_t capacity_bytes() const override { return geometry_.capacity_bytes; }
+  std::string name() const override { return name_; }
+  const HddGeometry& geometry() const { return geometry_; }
+
+  /// Service time the model would charge for `req` if issued with the head
+  /// at `head_pos` and `k` commands in the queue window (exposed for tests
+  /// and for documentation of the timing formula).
+  double ServiceTimeUs(const IoRequest& req, uint64_t head_pos, int k) const;
+
+ private:
+  struct Pending {
+    IoRequest req;
+    CompletionFn done;
+  };
+
+  void SubmitImpl(const IoRequest& req, CompletionFn done) override;
+  void StartNext();
+  void StartService(Pending p);
+
+  HddGeometry geometry_;
+  std::string name_;
+  std::deque<Pending> queue_;
+  bool busy_ = false;
+  uint64_t head_pos_ = 0;
+};
+
+}  // namespace pioqo::io
+
+#endif  // PIOQO_IO_HDD_DEVICE_H_

@@ -1,0 +1,25 @@
+#ifndef PIOQO_IO_IO_REQUEST_H_
+#define PIOQO_IO_IO_REQUEST_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace pioqo::io {
+
+/// One asynchronous block-device command. Offsets and lengths are in bytes;
+/// devices may internally split a request into smaller units (SSD stripes,
+/// RAID chunks) but completion is reported for the request as a whole.
+struct IoRequest {
+  enum class Kind { kRead, kWrite };
+
+  Kind kind = Kind::kRead;
+  uint64_t offset = 0;
+  uint32_t length = 0;
+};
+
+/// Invoked exactly once, at the simulated instant the request completes.
+using CompletionFn = std::function<void()>;
+
+}  // namespace pioqo::io
+
+#endif  // PIOQO_IO_IO_REQUEST_H_

@@ -1,0 +1,64 @@
+#include "io/raid_device.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace pioqo::io {
+
+RaidDevice::RaidDevice(sim::Simulator& sim, int num_members, HddGeometry member,
+                       uint64_t chunk_bytes, std::string name)
+    : Device(sim),
+      chunk_bytes_(chunk_bytes),
+      capacity_bytes_(member.capacity_bytes * static_cast<uint64_t>(num_members)),
+      name_(std::move(name)) {
+  PIOQO_CHECK(num_members >= 1);
+  PIOQO_CHECK(chunk_bytes_ >= 512);
+  members_.reserve(static_cast<size_t>(num_members));
+  for (int i = 0; i < num_members; ++i) {
+    members_.push_back(std::make_unique<HddDevice>(
+        sim, member, name_ + "-member" + std::to_string(i)));
+  }
+}
+
+void RaidDevice::SubmitImpl(const IoRequest& req, CompletionFn done) {
+  // Split at chunk boundaries and fan out to members. The shared counter
+  // fires the completion when the last piece lands.
+  auto remaining = std::make_shared<int>(0);
+  auto shared_done = std::make_shared<CompletionFn>(std::move(done));
+
+  uint64_t offset = req.offset;
+  uint64_t left = req.length;
+  struct Piece {
+    int member;
+    uint64_t member_offset;
+    uint32_t bytes;
+  };
+  std::vector<Piece> pieces;
+  while (left > 0) {
+    const uint64_t chunk_index = offset / chunk_bytes_;
+    const uint64_t chunk_end = (chunk_index + 1) * chunk_bytes_;
+    const uint32_t bytes =
+        static_cast<uint32_t>(std::min<uint64_t>(left, chunk_end - offset));
+    const int member = static_cast<int>(chunk_index % members_.size());
+    // Member LBA: consecutive chunks of this member pack contiguously.
+    const uint64_t member_chunk = chunk_index / members_.size();
+    const uint64_t member_offset =
+        member_chunk * chunk_bytes_ + (offset % chunk_bytes_);
+    pieces.push_back(Piece{member, member_offset, bytes});
+    offset += bytes;
+    left -= bytes;
+  }
+  *remaining = static_cast<int>(pieces.size());
+  for (const Piece& p : pieces) {
+    members_[static_cast<size_t>(p.member)]->Submit(
+        IoRequest{req.kind, p.member_offset, p.bytes},
+        [remaining, shared_done] {
+          if (--*remaining == 0) (*shared_done)();
+        });
+  }
+}
+
+}  // namespace pioqo::io

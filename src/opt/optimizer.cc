@@ -1,0 +1,54 @@
+#include "opt/optimizer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace pioqo::opt {
+
+std::string OptimizationResult::Explain() const {
+  std::vector<core::PlanCandidate> sorted = considered;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.total_us < b.total_us; });
+  std::ostringstream out;
+  out << "chosen: " << chosen.ToString() << "\n";
+  for (const auto& plan : sorted) {
+    out << "  " << plan.ToString() << "\n";
+  }
+  return out.str();
+}
+
+Optimizer::Optimizer(const core::QdttModel& model,
+                     core::CostConstants constants, OptimizerOptions options)
+    : cost_model_(model, constants, options.queue_depth_aware,
+                  options.concurrent_streams),
+      options_(std::move(options)) {
+  PIOQO_CHECK(!options_.parallel_degrees.empty());
+  PIOQO_CHECK(!options_.prefetch_depths.empty());
+}
+
+OptimizationResult Optimizer::ChooseAccessPath(
+    const core::TableProfile& profile, double selectivity) const {
+  OptimizationResult result;
+  for (int dop : options_.parallel_degrees) {
+    if (options_.force_parallel && dop == 1) continue;
+    result.considered.push_back(cost_model_.CostFullTableScan(profile, dop));
+    for (int prefetch : options_.prefetch_depths) {
+      result.considered.push_back(
+          cost_model_.CostIndexScan(profile, selectivity, dop, prefetch));
+      if (options_.enable_sorted_index_scan) {
+        result.considered.push_back(cost_model_.CostSortedIndexScan(
+            profile, selectivity, dop, prefetch));
+      }
+    }
+  }
+  PIOQO_CHECK(!result.considered.empty())
+      << "no plan candidates (force_parallel with only dop 1?)";
+  result.chosen = *std::min_element(
+      result.considered.begin(), result.considered.end(),
+      [](const auto& a, const auto& b) { return a.total_us < b.total_us; });
+  return result;
+}
+
+}  // namespace pioqo::opt

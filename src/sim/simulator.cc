@@ -1,0 +1,47 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace pioqo::sim {
+
+void Simulator::ScheduleAt(SimTime t, Callback cb) {
+  PIOQO_CHECK(cb != nullptr);
+  queue_.push(Event{std::max(t, now_), next_seq_++, std::move(cb)});
+}
+
+void Simulator::ScheduleAfter(double delay, Callback cb) {
+  PIOQO_CHECK(delay >= 0.0) << "negative delay " << delay;
+  ScheduleAt(now_ + delay, std::move(cb));
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the callback is moved out via a copy of
+  // the shared_ptr-like std::function, then the event is popped before the
+  // callback runs so that the callback may schedule new events freely.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.cb();
+  return true;
+}
+
+SimTime Simulator::Run() {
+  while (Step()) {
+  }
+  return now_;
+}
+
+SimTime Simulator::RunUntil(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Step();
+  }
+  now_ = std::max(now_, t);
+  return now_;
+}
+
+}  // namespace pioqo::sim

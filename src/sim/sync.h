@@ -1,0 +1,236 @@
+#ifndef PIOQO_SIM_SYNC_H_
+#define PIOQO_SIM_SYNC_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/simulator.h"
+
+namespace pioqo::sim {
+
+/// A one-shot countdown latch for joining a team of simulated workers.
+///
+/// Each worker calls `CountDown()` as its last action; a coordinator
+/// `co_await`s the latch (or polls `done()` from non-coroutine driver code
+/// that runs the simulator to completion).
+class Latch {
+ public:
+  Latch(Simulator& sim, int64_t count) : sim_(sim), count_(count) {
+    PIOQO_CHECK(count >= 0);
+  }
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void CountDown() {
+    PIOQO_CHECK(count_ > 0) << "latch counted down below zero";
+    if (--count_ == 0) {
+      for (auto h : waiters_) {
+        sim_.ScheduleAfter(0.0, [h] { h.resume(); });
+      }
+      waiters_.clear();
+    }
+  }
+
+  bool done() const { return count_ == 0; }
+
+  /// `co_await latch.Wait()` suspends until the count reaches zero.
+  class Waiter {
+   public:
+    explicit Waiter(Latch& latch) : latch_(latch) {}
+    bool await_ready() const noexcept { return latch_.count_ == 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      latch_.waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    Latch& latch_;
+  };
+
+  Waiter Wait() { return Waiter(*this); }
+
+ private:
+  Simulator& sim_;
+  int64_t count_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// A resettable completion event: `Set()` wakes all current waiters;
+/// awaiting an already-set event does not suspend. `Reset()` re-arms it.
+/// Used for slot completion in the active-waiting (AW) calibration method.
+class Event {
+ public:
+  explicit Event(Simulator& sim) : sim_(sim) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  void Set() {
+    set_ = true;
+    for (auto h : waiters_) {
+      sim_.ScheduleAfter(0.0, [h] { h.resume(); });
+    }
+    waiters_.clear();
+  }
+
+  void Reset() { set_ = false; }
+  bool is_set() const { return set_; }
+
+  class Waiter {
+   public:
+    explicit Waiter(Event& event) : event_(event) {}
+    bool await_ready() const noexcept { return event_.set_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      event_.waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    Event& event_;
+  };
+
+  Waiter Wait() { return Waiter(*this); }
+
+ private:
+  Simulator& sim_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore with FIFO wakeup, used e.g. to model a serialized
+/// critical section (buffer-pool latch) or to bound outstanding prefetches.
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, int64_t initial) : sim_(sim), count_(initial) {
+    PIOQO_CHECK(initial >= 0);
+  }
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  class Acquire {
+   public:
+    explicit Acquire(Semaphore& sem) : sem_(sem) {}
+    bool await_ready() noexcept {
+      if (sem_.count_ > 0) {
+        --sem_.count_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      sem_.waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    Semaphore& sem_;
+  };
+
+  /// `co_await sem.WaitAcquire()` obtains one permit (FIFO).
+  Acquire WaitAcquire() { return Acquire(*this); }
+
+  /// Returns one permit, waking the oldest waiter if any. The permit is
+  /// handed directly to the waiter (no count increment) to preserve FIFO
+  /// fairness.
+  void Release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sim_.ScheduleAfter(0.0, [h] { h.resume(); });
+    } else {
+      ++count_;
+    }
+  }
+
+  int64_t available() const { return count_; }
+  size_t num_waiters() const { return waiters_.size(); }
+
+ private:
+  Simulator& sim_;
+  int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// An unbounded multi-producer multi-consumer queue of work items with
+/// close semantics, used to hand index leaf pages to PIS workers.
+///
+/// `co_await queue.Pop()` yields the next item, or `nullopt` once the queue
+/// is closed and drained.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulator& sim) : sim_(sim) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  void Push(T item) {
+    PIOQO_CHECK(!closed_) << "push on closed channel";
+    // Direct handoff to the oldest waiter avoids the classic lost-wakeup /
+    // stolen-item race: a woken consumer is guaranteed to hold its item.
+    if (!waiters_.empty()) {
+      PopAwaiter* w = waiters_.front();
+      waiters_.pop_front();
+      w->slot_ = std::move(item);
+      auto h = w->handle_;
+      sim_.ScheduleAfter(0.0, [h] { h.resume(); });
+      return;
+    }
+    items_.push_back(std::move(item));
+  }
+
+  /// After Close(), consumers drain remaining items then observe nullopt.
+  void Close() {
+    closed_ = true;
+    for (PopAwaiter* w : waiters_) {
+      auto h = w->handle_;
+      sim_.ScheduleAfter(0.0, [h] { h.resume(); });
+    }
+    waiters_.clear();
+  }
+
+  class PopAwaiter {
+   public:
+    explicit PopAwaiter(Channel& ch) : ch_(ch) {}
+    bool await_ready() const noexcept {
+      return !ch_.items_.empty() || ch_.closed_;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle_ = h;
+      ch_.waiters_.push_back(this);
+    }
+    std::optional<T> await_resume() {
+      if (slot_.has_value()) return std::move(slot_);
+      if (!ch_.items_.empty()) {
+        T item = std::move(ch_.items_.front());
+        ch_.items_.pop_front();
+        return item;
+      }
+      PIOQO_CHECK(ch_.closed_);
+      return std::nullopt;
+    }
+
+   private:
+    friend class Channel;
+    Channel& ch_;
+    std::coroutine_handle<> handle_;
+    std::optional<T> slot_;
+  };
+
+  PopAwaiter Pop() { return PopAwaiter(*this); }
+
+  size_t size() const { return items_.size(); }
+  bool closed() const { return closed_; }
+
+ private:
+  Simulator& sim_;
+  bool closed_ = false;
+  std::deque<T> items_;
+  std::deque<PopAwaiter*> waiters_;
+};
+
+}  // namespace pioqo::sim
+
+#endif  // PIOQO_SIM_SYNC_H_

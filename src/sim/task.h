@@ -1,0 +1,53 @@
+#ifndef PIOQO_SIM_TASK_H_
+#define PIOQO_SIM_TASK_H_
+
+#include <coroutine>
+#include <cstdlib>
+
+#include "sim/simulator.h"
+
+namespace pioqo::sim {
+
+/// A detached, eagerly-started coroutine representing one simulated activity
+/// (a scan worker, a prefetcher, a calibration thread, ...).
+///
+/// Lifetime: the coroutine starts running as soon as it is called and frees
+/// its own frame when it finishes (both initial and final suspend are
+/// `suspend_never`), so the returned `Task` is just a fire-and-forget token.
+/// Completion is signaled through simulation primitives (`Latch`), not by
+/// awaiting the Task — this keeps ownership trivially correct with a
+/// single-threaded event loop.
+///
+/// Exceptions escaping a simulated activity indicate a programming error and
+/// terminate the process.
+struct Task {
+  struct promise_type {
+    Task get_return_object() noexcept { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { std::abort(); }
+  };
+};
+
+/// Awaitable pause: `co_await Delay(sim, d)` resumes the coroutine `d`
+/// microseconds of simulated time later. A zero delay still goes through the
+/// event queue, i.e. it yields to other events scheduled for "now".
+class Delay {
+ public:
+  Delay(Simulator& sim, double duration) : sim_(sim), duration_(duration) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    sim_.ScheduleAfter(duration_, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Simulator& sim_;
+  double duration_;
+};
+
+}  // namespace pioqo::sim
+
+#endif  // PIOQO_SIM_TASK_H_

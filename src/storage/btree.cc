@@ -1,0 +1,223 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+
+namespace pioqo::storage {
+namespace {
+
+void WriteLeafEntry(char* page_data, uint16_t slot,
+                    const BPlusTree::Entry& e) {
+  char* p = page_data + kPageHeaderSize +
+            static_cast<size_t>(slot) * BPlusTree::kLeafEntrySize;
+  std::memcpy(p, &e.key, 4);
+  std::memcpy(p + 4, &e.rid.page, 4);
+  std::memcpy(p + 8, &e.rid.slot, 2);
+}
+
+void WriteInternalEntry(char* page_data, uint16_t slot, int32_t min_key,
+                        PageId child) {
+  char* p = page_data + kPageHeaderSize +
+            static_cast<size_t>(slot) * BPlusTree::kInternalEntrySize;
+  std::memcpy(p, &min_key, 4);
+  std::memcpy(p + 4, &child, 4);
+}
+
+int32_t InternalKeyAt(const char* page_data, uint16_t slot) {
+  int32_t k;
+  std::memcpy(&k,
+              page_data + kPageHeaderSize +
+                  static_cast<size_t>(slot) * BPlusTree::kInternalEntrySize,
+              4);
+  return k;
+}
+
+PageId InternalChildAt(const char* page_data, uint16_t slot) {
+  PageId c;
+  std::memcpy(&c,
+              page_data + kPageHeaderSize +
+                  static_cast<size_t>(slot) * BPlusTree::kInternalEntrySize + 4,
+              4);
+  return c;
+}
+
+int32_t LeafKeyAt(const char* page_data, uint16_t slot) {
+  int32_t k;
+  std::memcpy(&k,
+              page_data + kPageHeaderSize +
+                  static_cast<size_t>(slot) * BPlusTree::kLeafEntrySize,
+              4);
+  return k;
+}
+
+}  // namespace
+
+StatusOr<BPlusTree> BPlusTree::BulkBuild(DiskImage& disk,
+                                         std::vector<Entry> entries,
+                                         uint16_t max_leaf_entries) {
+  if (entries.empty()) {
+    return Status::InvalidArgument("cannot bulk-build an empty index");
+  }
+  if (!std::is_sorted(entries.begin(), entries.end())) {
+    return Status::InvalidArgument("bulk-build input must be sorted");
+  }
+  if (max_leaf_entries < 1 || max_leaf_entries > kLeafCapacity) {
+    return Status::InvalidArgument("bad leaf fill");
+  }
+
+  BPlusTree tree;
+  tree.num_entries_ = entries.size();
+
+  // ---- leaf level ----
+  const uint32_t num_leaves =
+      static_cast<uint32_t>(CeilDiv(entries.size(), max_leaf_entries));
+  const PageId first_leaf = disk.AllocatePages(num_leaves);
+  tree.first_leaf_ = first_leaf;
+  tree.num_leaves_ = num_leaves;
+  tree.num_pages_ = num_leaves;
+
+  // (min key, page) of each node on the level below the one being built.
+  std::vector<std::pair<int32_t, PageId>> level;
+  level.reserve(num_leaves);
+
+  size_t next_entry = 0;
+  for (uint32_t leaf = 0; leaf < num_leaves; ++leaf) {
+    const PageId pid = first_leaf + leaf;
+    char* data = disk.PageData(pid);
+    const size_t remaining = entries.size() - next_entry;
+    const uint16_t in_this_leaf = static_cast<uint16_t>(
+        std::min<size_t>(remaining, max_leaf_entries));
+    PageHeader h;
+    h.page_id = pid;
+    h.kind = PageKind::kIndexLeaf;
+    h.count = in_this_leaf;
+    h.next_page = (leaf + 1 < num_leaves) ? pid + 1 : kInvalidPageId;
+    WritePageHeader(data, h);
+    level.emplace_back(entries[next_entry].key, pid);
+    for (uint16_t s = 0; s < in_this_leaf; ++s) {
+      WriteLeafEntry(data, s, entries[next_entry++]);
+    }
+  }
+  PIOQO_CHECK(next_entry == entries.size());
+
+  // ---- internal levels ----
+  int height = 1;
+  while (level.size() > 1) {
+    const uint32_t num_nodes =
+        static_cast<uint32_t>(CeilDiv(level.size(), kInternalCapacity));
+    const PageId first_node = disk.AllocatePages(num_nodes);
+    tree.num_pages_ += num_nodes;
+    std::vector<std::pair<int32_t, PageId>> parent_level;
+    parent_level.reserve(num_nodes);
+    size_t next_child = 0;
+    for (uint32_t node = 0; node < num_nodes; ++node) {
+      const PageId pid = first_node + node;
+      char* data = disk.PageData(pid);
+      const size_t remaining = level.size() - next_child;
+      const uint16_t in_this_node = static_cast<uint16_t>(
+          std::min<size_t>(remaining, kInternalCapacity));
+      PageHeader h;
+      h.page_id = pid;
+      h.kind = PageKind::kIndexInternal;
+      h.count = in_this_node;
+      WritePageHeader(data, h);
+      parent_level.emplace_back(level[next_child].first, pid);
+      for (uint16_t s = 0; s < in_this_node; ++s) {
+        WriteInternalEntry(data, s, level[next_child].first,
+                           level[next_child].second);
+        ++next_child;
+      }
+    }
+    level = std::move(parent_level);
+    ++height;
+  }
+
+  tree.root_ = level.front().second;
+  tree.height_ = height;
+  return tree;
+}
+
+PageId BPlusTree::ChildFor(const char* internal_page, int32_t key) {
+  const uint16_t n = EntryCount(internal_page);
+  PIOQO_CHECK(n > 0);
+  // Last separator strictly below `key` (first child if none). Strict
+  // comparison matters for duplicate keys: runs of equal keys can spill
+  // backwards across a child boundary, so ties must descend left; the
+  // leaf-level next pointer rolls forward if needed.
+  uint16_t lo = 0, hi = n;  // invariant: answer in [lo, hi)
+  while (hi - lo > 1) {
+    const uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    if (InternalKeyAt(internal_page, mid) < key) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return InternalChildAt(internal_page, lo);
+}
+
+uint16_t BPlusTree::LeafLowerBound(const char* leaf_page, int32_t key) {
+  const uint16_t n = EntryCount(leaf_page);
+  uint16_t lo = 0, hi = n;  // first slot with key >= target in [lo, hi]
+  while (lo < hi) {
+    const uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    if (LeafKeyAt(leaf_page, mid) < key) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+BPlusTree::Entry BPlusTree::LeafEntryAt(const char* leaf_page, uint16_t slot) {
+  Entry e;
+  const char* p = leaf_page + kPageHeaderSize +
+                  static_cast<size_t>(slot) * kLeafEntrySize;
+  std::memcpy(&e.key, p, 4);
+  std::memcpy(&e.rid.page, p + 4, 4);
+  std::memcpy(&e.rid.slot, p + 8, 2);
+  return e;
+}
+
+BPlusTree::LeafPos BPlusTree::SeekCeil(const DiskImage& disk,
+                                       int32_t key) const {
+  const char* page = disk.PageData(root_);
+  while (!IsLeaf(page)) {
+    page = disk.PageData(ChildFor(page, key));
+  }
+  PageId pid = ReadPageHeader(page).page_id;
+  uint16_t slot = LeafLowerBound(page, key);
+  // The sought key may start on the next leaf.
+  if (slot == EntryCount(page)) {
+    const PageId next = LeafNext(page);
+    if (next == kInvalidPageId) return LeafPos{kInvalidPageId, 0};
+    return LeafPos{next, 0};
+  }
+  return LeafPos{pid, slot};
+}
+
+uint64_t BPlusTree::CountRange(const DiskImage& disk, int32_t lo,
+                               int32_t hi) const {
+  if (lo > hi) return 0;
+  LeafPos pos = SeekCeil(disk, lo);
+  uint64_t count = 0;
+  PageId pid = pos.page;
+  uint16_t slot = pos.slot;
+  while (pid != kInvalidPageId) {
+    const char* page = disk.PageData(pid);
+    const uint16_t n = EntryCount(page);
+    for (; slot < n; ++slot) {
+      if (LeafEntryAt(page, slot).key > hi) return count;
+      ++count;
+    }
+    pid = LeafNext(page);
+    slot = 0;
+  }
+  return count;
+}
+
+}  // namespace pioqo::storage

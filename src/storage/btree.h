@@ -1,0 +1,117 @@
+#ifndef PIOQO_STORAGE_BTREE_H_
+#define PIOQO_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_image.h"
+#include "storage/page.h"
+
+namespace pioqo::storage {
+
+/// A non-clustered B+-tree index over int32 keys, mapping each key to the
+/// RowId of its row — the structure the paper's index scans traverse ("each
+/// leaf page consists of (key, row_id) tuples").
+///
+/// Layout:
+///  * leaf pages: PageHeader{kIndexLeaf, count, next_page} then `count`
+///    packed 10-byte entries (key:int32, page:uint32, slot:uint16);
+///  * internal pages: PageHeader{kIndexInternal, count} then `count` packed
+///    8-byte entries (min_key_of_subtree:int32, child:uint32).
+///
+/// The tree is built once by bulk loading sorted entries (the experiment
+/// tables are static). Navigation during query execution happens on raw page
+/// bytes obtained through the buffer pool, via the static helpers below, so
+/// index I/O is timed exactly like table I/O.
+class BPlusTree {
+ public:
+  struct Entry {
+    int32_t key;
+    RowId rid;
+
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.key != b.key) return a.key < b.key;
+      return a.rid < b.rid;
+    }
+    friend bool operator==(const Entry& a, const Entry& b) {
+      return a.key == b.key && a.rid == b.rid;
+    }
+  };
+
+  static constexpr uint32_t kLeafEntrySize = 10;
+  static constexpr uint32_t kInternalEntrySize = 8;
+  static constexpr uint16_t kLeafCapacity = kPagePayloadSize / kLeafEntrySize;
+  static constexpr uint16_t kInternalCapacity =
+      kPagePayloadSize / kInternalEntrySize;
+
+  /// Bulk loads `entries` (must be sorted by (key, rid)) into new pages of
+  /// `disk`. Leaf pages are allocated contiguously, then each internal level.
+  ///
+  /// `max_leaf_entries` caps the leaf fill (default: pack full). Real B-trees
+  /// run at partial fill after load/update churn; scaled-down experiments
+  /// also use this to keep the *number of leaves per selectivity range*
+  /// proportionate to the paper's multi-gigabyte tables (PIS hands out work
+  /// leaf-by-leaf, so leaf count bounds its usable parallelism).
+  static StatusOr<BPlusTree> BulkBuild(DiskImage& disk,
+                                       std::vector<Entry> entries,
+                                       uint16_t max_leaf_entries = kLeafCapacity);
+
+  PageId root() const { return root_; }
+  int height() const { return height_; }  // 1 == root is a leaf
+  PageId first_leaf() const { return first_leaf_; }
+  uint32_t num_leaves() const { return num_leaves_; }
+  uint32_t num_pages() const { return num_pages_; }  // leaves + internals
+  uint64_t num_entries() const { return num_entries_; }
+
+  // ---- raw-page navigation (works on bytes from the buffer pool) ----
+
+  static bool IsLeaf(const char* page_data) {
+    return ReadPageHeader(page_data).kind == PageKind::kIndexLeaf;
+  }
+  static uint16_t EntryCount(const char* page_data) {
+    return ReadPageHeader(page_data).count;
+  }
+  static PageId LeafNext(const char* page_data) {
+    return ReadPageHeader(page_data).next_page;
+  }
+
+  /// For an internal page: the child to descend into when seeking the first
+  /// entry with key >= `key` (the last child whose separator is strictly
+  /// below key; ties descend left so duplicate runs are not skipped).
+  static PageId ChildFor(const char* internal_page, int32_t key);
+
+  /// For a leaf page: the first slot whose key is >= `key`; EntryCount if
+  /// none.
+  static uint16_t LeafLowerBound(const char* leaf_page, int32_t key);
+
+  static Entry LeafEntryAt(const char* leaf_page, uint16_t slot);
+
+  // ---- untimed convenience lookups (tests, statistics) ----
+
+  struct LeafPos {
+    PageId page = kInvalidPageId;
+    uint16_t slot = 0;
+  };
+
+  /// Position of the first entry with key >= `key` (page == kInvalidPageId
+  /// if the tree is empty or all keys are smaller).
+  LeafPos SeekCeil(const DiskImage& disk, int32_t key) const;
+
+  /// Number of entries with lo <= key <= hi.
+  uint64_t CountRange(const DiskImage& disk, int32_t lo, int32_t hi) const;
+
+ private:
+  BPlusTree() = default;
+
+  PageId root_ = kInvalidPageId;
+  PageId first_leaf_ = kInvalidPageId;
+  uint32_t num_leaves_ = 0;
+  uint32_t num_pages_ = 0;
+  int height_ = 0;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace pioqo::storage
+
+#endif  // PIOQO_STORAGE_BTREE_H_

@@ -1,0 +1,183 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pioqo::storage {
+
+BufferPool::BufferPool(DiskImage& disk, uint32_t capacity_pages)
+    : disk_(disk), capacity_(capacity_pages) {
+  PIOQO_CHECK(capacity_pages >= 2);
+}
+
+bool BufferPool::FetchAwaiter::await_ready() {
+  ++pool_.stats_.fetches;
+  auto it = pool_.frames_.find(pid_);
+  if (it != pool_.frames_.end() && it->second.state == FrameState::kReady) {
+    // Hit: pin immediately, no suspension.
+    Frame& f = it->second;
+    ++pool_.stats_.hits;
+    if (f.from_prefetch) f.from_prefetch = false;
+    // Pinning removes the page from the LRU list; Unpin re-inserts it at the
+    // MRU end, which is what makes the policy least-recently-*used*.
+    pool_.RemoveFromLru(f);
+    ++f.pin_count;
+    was_hit_ = true;
+    return true;
+  }
+  return false;
+}
+
+void BufferPool::FetchAwaiter::await_suspend(std::coroutine_handle<> h) {
+  ++pool_.stats_.misses;
+  auto it = pool_.frames_.find(pid_);
+  if (it == pool_.frames_.end()) {
+    pool_.StartRead(pid_, 1, /*prefetch=*/false);
+    it = pool_.frames_.find(pid_);
+  } else {
+    ++pool_.stats_.joined_inflight;
+  }
+  PIOQO_CHECK(it->second.state == FrameState::kLoading);
+  it->second.waiters.push_back(h);
+  // Pin at suspend time: a waiter resumed earlier could otherwise evict the
+  // page (via its own fetches) before this waiter runs.
+  ++it->second.pin_count;
+}
+
+BufferPool::PageRef BufferPool::FetchAwaiter::await_resume() {
+  auto it = pool_.frames_.find(pid_);
+  PIOQO_CHECK(it != pool_.frames_.end() &&
+              it->second.state == FrameState::kReady)
+      << "page " << pid_ << " not resident after fetch";
+  Frame& f = it->second;
+  // Hit path pinned in await_ready; miss path pinned in await_suspend.
+  PIOQO_CHECK(f.pin_count > 0);
+  return PageRef{f.data, was_hit_};
+}
+
+void BufferPool::Unpin(PageId pid) {
+  auto it = frames_.find(pid);
+  PIOQO_CHECK(it != frames_.end()) << "unpin of non-resident page " << pid;
+  Frame& f = it->second;
+  PIOQO_CHECK(f.pin_count > 0) << "unpin of unpinned page " << pid;
+  if (--f.pin_count == 0) AddToLru(f);
+}
+
+void BufferPool::Prefetch(PageId pid) {
+  ++stats_.prefetch_issued;
+  if (frames_.contains(pid)) return;  // resident or already in flight
+  StartRead(pid, 1, /*prefetch=*/true);
+}
+
+void BufferPool::PrefetchBlock(PageId first, uint32_t count) {
+  stats_.prefetch_issued += count;
+  // Split the block into maximal runs of absent pages; each run is one
+  // device request.
+  uint32_t run_start = 0;
+  bool in_run = false;
+  for (uint32_t i = 0; i <= count; ++i) {
+    const bool absent = i < count && !frames_.contains(first + i);
+    if (absent && !in_run) {
+      run_start = i;
+      in_run = true;
+    } else if (!absent && in_run) {
+      StartRead(first + run_start, i - run_start, /*prefetch=*/true);
+      in_run = false;
+    }
+  }
+}
+
+bool BufferPool::IsResident(PageId pid) const {
+  auto it = frames_.find(pid);
+  return it != frames_.end() && it->second.state == FrameState::kReady;
+}
+
+uint32_t BufferPool::ResidentInRange(PageId first, uint32_t count) const {
+  // Iterate whichever side is smaller: the range or the resident set.
+  uint32_t resident = 0;
+  if (frames_.size() < count) {
+    for (const auto& [pid, frame] : frames_) {
+      if (pid >= first && pid < first + count &&
+          frame.state == FrameState::kReady) {
+        ++resident;
+      }
+    }
+  } else {
+    for (uint32_t i = 0; i < count; ++i) {
+      if (IsResident(first + i)) ++resident;
+    }
+  }
+  return resident;
+}
+
+void BufferPool::Clear() {
+  for (auto& [pid, f] : frames_) {
+    PIOQO_CHECK(f.pin_count == 0) << "Clear() with pinned page " << pid;
+    PIOQO_CHECK(f.state == FrameState::kReady)
+        << "Clear() with in-flight page " << pid;
+  }
+  frames_.clear();
+  lru_.clear();
+}
+
+void BufferPool::EnsureCapacity() {
+  if (frames_.size() < capacity_) return;
+  PIOQO_CHECK(!lru_.empty())
+      << "buffer pool exhausted: all " << capacity_
+      << " frames pinned or loading";
+  const PageId victim = lru_.back();
+  lru_.pop_back();
+  auto it = frames_.find(victim);
+  PIOQO_CHECK(it != frames_.end());
+  frames_.erase(it);
+  ++stats_.evictions;
+}
+
+void BufferPool::StartRead(PageId first, uint32_t count, bool prefetch) {
+  PIOQO_CHECK(count >= 1);
+  for (uint32_t i = 0; i < count; ++i) {
+    EnsureCapacity();
+    Frame f;
+    f.pid = first + i;
+    f.state = FrameState::kLoading;
+    f.from_prefetch = prefetch;
+    frames_.emplace(first + i, std::move(f));
+  }
+  ++stats_.device_reads;
+  stats_.pages_read += count;
+  if (prefetch) stats_.prefetch_read += count;
+  disk_.device().Submit(
+      io::IoRequest{io::IoRequest::Kind::kRead, disk_.OffsetOf(first),
+                    count * kPageSize},
+      [this, first, count] { OnReadComplete(first, count); });
+}
+
+void BufferPool::OnReadComplete(PageId first, uint32_t count) {
+  for (uint32_t i = 0; i < count; ++i) {
+    auto it = frames_.find(first + i);
+    PIOQO_CHECK(it != frames_.end() && it->second.state == FrameState::kLoading);
+    Frame& f = it->second;
+    f.state = FrameState::kReady;
+    f.data = disk_.PageData(first + i);
+    if (f.pin_count == 0) AddToLru(f);  // waiters already hold pins
+    std::vector<std::coroutine_handle<>> waiters;
+    waiters.swap(f.waiters);
+    for (auto h : waiters) h.resume();
+  }
+}
+
+void BufferPool::AddToLru(Frame& frame) {
+  if (frame.in_lru) return;
+  lru_.push_front(frame.pid);
+  frame.lru_it = lru_.begin();
+  frame.in_lru = true;
+}
+
+void BufferPool::RemoveFromLru(Frame& frame) {
+  if (!frame.in_lru) return;
+  lru_.erase(frame.lru_it);
+  frame.in_lru = false;
+}
+
+}  // namespace pioqo::storage

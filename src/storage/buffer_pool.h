@@ -1,0 +1,137 @@
+#ifndef PIOQO_STORAGE_BUFFER_POOL_H_
+#define PIOQO_STORAGE_BUFFER_POOL_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk_image.h"
+#include "storage/page.h"
+
+namespace pioqo::storage {
+
+/// Counters exposed by the buffer pool for experiments and tests.
+struct BufferPoolStats {
+  uint64_t fetches = 0;         // Fetch() calls
+  uint64_t hits = 0;            // satisfied without device I/O
+  uint64_t misses = 0;          // had to start (or join) a device read
+  uint64_t joined_inflight = 0; // miss that piggybacked on a pending read
+  uint64_t evictions = 0;
+  uint64_t prefetch_issued = 0;   // pages requested by Prefetch/PrefetchBlock
+  uint64_t prefetch_read = 0;     // pages actually read by prefetch I/O
+  uint64_t device_reads = 0;      // device read *requests* (a block counts 1)
+  uint64_t pages_read = 0;        // pages brought in from the device
+};
+
+/// A fixed-capacity LRU buffer pool over one `DiskImage`, with asynchronous
+/// reads, page pinning, and prefetch — the memory component the paper's
+/// break-even analysis depends on ("the size of the memory buffer pool" is
+/// one of the two parameters that determine the break-even point, Sec. 2).
+///
+/// Concurrency model: single simulated timeline. Workers `co_await
+/// pool.Fetch(pid)`, which resumes them (with the page pinned) once the page
+/// is resident; concurrent fetches of an in-flight page join its waiter
+/// list. `Unpin` must be called exactly once per successful fetch.
+///
+/// Eviction: least-recently-used unpinned resident page. The pool aborts if
+/// every frame is pinned or loading (callers must size the pool above the
+/// maximum number of simultaneously pinned pages — the operators pin at most
+/// one table page plus one index page per worker).
+class BufferPool {
+ public:
+  BufferPool(DiskImage& disk, uint32_t capacity_pages);
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Result of a fetch: stable pointer to the resident page bytes.
+  struct PageRef {
+    const char* data = nullptr;
+    bool was_hit = false;
+  };
+
+  class FetchAwaiter {
+   public:
+    FetchAwaiter(BufferPool& pool, PageId pid) : pool_(pool), pid_(pid) {}
+    bool await_ready();
+    void await_suspend(std::coroutine_handle<> h);
+    PageRef await_resume();
+
+   private:
+    BufferPool& pool_;
+    PageId pid_;
+    bool was_hit_ = false;
+  };
+
+  /// Awaitable: resumes when page `pid` is resident; pins it.
+  FetchAwaiter Fetch(PageId pid) { return FetchAwaiter(*this, pid); }
+
+  /// Releases one pin taken by Fetch.
+  void Unpin(PageId pid);
+
+  /// Starts an asynchronous read of `pid` if it is neither resident nor in
+  /// flight; never blocks the caller. The page lands unpinned.
+  void Prefetch(PageId pid);
+
+  /// Starts one device read covering pages [first, first+count) that are not
+  /// yet resident/in-flight, as a single large request (the paper's FTS
+  /// "instead of prefetching pages one by one a large block consisting of
+  /// several consecutive pages is read at a time"). Pages already resident
+  /// or in flight are skipped by splitting the block at them.
+  void PrefetchBlock(PageId first, uint32_t count);
+
+  /// True if `pid` can be returned by Fetch without device I/O right now.
+  bool IsResident(PageId pid) const;
+
+  /// Number of resident pages within [first, first + count) — the cached
+  /// statistic the paper's optimizer consults ("SQL Anywhere maintains
+  /// statistics on how many table and index pages are currently cached").
+  uint32_t ResidentInRange(PageId first, uint32_t count) const;
+
+  /// Drops every unpinned frame (simulates flushing the cache between
+  /// experiments). Aborts if any page is pinned or in flight.
+  void Clear();
+
+  uint32_t capacity() const { return capacity_; }
+  uint32_t resident_pages() const { return static_cast<uint32_t>(frames_.size()); }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+
+  DiskImage& disk() { return disk_; }
+
+ private:
+  enum class FrameState { kLoading, kReady };
+
+  struct Frame {
+    PageId pid = kInvalidPageId;
+    FrameState state = FrameState::kLoading;
+    const char* data = nullptr;
+    uint32_t pin_count = 0;
+    bool from_prefetch = false;
+    std::vector<std::coroutine_handle<>> waiters;
+    // Valid only when state == kReady and pin_count == 0.
+    std::list<PageId>::iterator lru_it;
+    bool in_lru = false;
+  };
+
+  /// Makes room for one more frame, evicting the LRU unpinned page if at
+  /// capacity (counting in-flight frames against capacity).
+  void EnsureCapacity();
+  /// Starts a device read covering [first, first+count) and creates loading
+  /// frames for each page.
+  void StartRead(PageId first, uint32_t count, bool prefetch);
+  void OnReadComplete(PageId first, uint32_t count);
+  void AddToLru(Frame& frame);
+  void RemoveFromLru(Frame& frame);
+
+  DiskImage& disk_;
+  const uint32_t capacity_;
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> lru_;  // front = most recent
+  BufferPoolStats stats_;
+};
+
+}  // namespace pioqo::storage
+
+#endif  // PIOQO_STORAGE_BUFFER_POOL_H_

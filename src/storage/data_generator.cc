@@ -1,0 +1,55 @@
+#include "storage/data_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace pioqo::storage {
+
+StatusOr<Dataset> BuildDataset(DiskImage& disk, const DatasetConfig& config) {
+  if (config.c2_domain <= 0) {
+    return Status::InvalidArgument("c2_domain must be positive");
+  }
+  PIOQO_ASSIGN_OR_RETURN(
+      Table table, Table::Create(disk, config.name, config.num_rows,
+                                 config.rows_per_page, config.num_columns));
+
+  Pcg32 rng(config.seed);
+  std::vector<BPlusTree::Entry> entries;
+  entries.reserve(config.num_rows);
+
+  for (uint64_t n = 0; n < config.num_rows; ++n) {
+    const RowId rid = table.NthRowId(n);
+    char* page = disk.PageData(rid.page);
+    const int32_t c1 =
+        static_cast<int32_t>(rng.UniformInt(0, config.c2_domain - 1));
+    const int32_t c2 =
+        static_cast<int32_t>(rng.UniformInt(0, config.c2_domain - 1));
+    table.SetColumn(page, rid.slot, kColumnC1, c1);
+    table.SetColumn(page, rid.slot, kColumnC2, c2);
+    // Remaining columns (if any) are filler; zero-initialized pages already
+    // model the paper's padding columns.
+    entries.push_back(BPlusTree::Entry{c2, rid});
+  }
+
+  std::sort(entries.begin(), entries.end());
+  const uint16_t fill = config.index_leaf_fill == 0 ? BPlusTree::kLeafCapacity
+                                                    : config.index_leaf_fill;
+  PIOQO_ASSIGN_OR_RETURN(
+      BPlusTree index, BPlusTree::BulkBuild(disk, std::move(entries), fill));
+
+  return Dataset{std::move(table), std::move(index), config.c2_domain};
+}
+
+int32_t C2UpperBoundForSelectivity(int32_t c2_domain, double selectivity) {
+  PIOQO_CHECK(selectivity >= 0.0 && selectivity <= 1.0);
+  const double hi = selectivity * static_cast<double>(c2_domain) - 1.0;
+  if (hi < 0.0) return -1;  // empty range: BETWEEN 0 AND -1
+  return static_cast<int32_t>(std::llround(hi));
+}
+
+}  // namespace pioqo::storage

@@ -1,0 +1,53 @@
+#ifndef PIOQO_STORAGE_DISK_IMAGE_H_
+#define PIOQO_STORAGE_DISK_IMAGE_H_
+
+#include <memory>
+#include <vector>
+
+#include "io/device.h"
+#include "storage/page.h"
+
+namespace pioqo::storage {
+
+/// The byte contents of a simulated disk, paired with the device that models
+/// its timing.
+///
+/// Devices in `pioqo::io` are pure timing models; `DiskImage` owns the actual
+/// page bytes (in stable-address 1 MiB extents) and maps `PageId`s to device
+/// byte offsets (`page_id * kPageSize`). Functional reads/writes through
+/// `PageData()` are instantaneous — *timed* access goes through the
+/// `BufferPool` (engine path) or direct `Device::Read` (calibration path).
+class DiskImage {
+ public:
+  explicit DiskImage(io::Device& device);
+  DiskImage(const DiskImage&) = delete;
+  DiskImage& operator=(const DiskImage&) = delete;
+
+  /// Allocates `count` contiguous zeroed pages; returns the first PageId.
+  /// Aborts if the device capacity would be exceeded.
+  PageId AllocatePages(uint32_t count);
+
+  /// Mutable access to a page's bytes (build-time population).
+  char* PageData(PageId id);
+  const char* PageData(PageId id) const;
+
+  /// Device byte offset of a page (what the timing model sees).
+  uint64_t OffsetOf(PageId id) const {
+    return static_cast<uint64_t>(id) * kPageSize;
+  }
+
+  uint32_t num_pages() const { return num_pages_; }
+  io::Device& device() { return device_; }
+  const io::Device& device() const { return device_; }
+
+ private:
+  static constexpr uint32_t kPagesPerExtent = 256;  // 1 MiB extents
+
+  io::Device& device_;
+  uint32_t num_pages_ = 0;
+  std::vector<std::unique_ptr<char[]>> extents_;
+};
+
+}  // namespace pioqo::storage
+
+#endif  // PIOQO_STORAGE_DISK_IMAGE_H_

@@ -1,0 +1,64 @@
+#ifndef PIOQO_STORAGE_PAGE_H_
+#define PIOQO_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace pioqo::storage {
+
+/// Database page size. SQL Anywhere–class systems use 4 KiB pages; the
+/// paper's experiments use 4 KiB I/O units throughout.
+inline constexpr uint32_t kPageSize = 4096;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+enum class PageKind : uint16_t {
+  kFree = 0,
+  kTableData = 1,
+  kIndexLeaf = 2,
+  kIndexInternal = 3,
+};
+
+/// On-page header, stored at byte 0 of every page.
+struct PageHeader {
+  PageId page_id = kInvalidPageId;
+  PageKind kind = PageKind::kFree;
+  uint16_t count = 0;          // rows (table) or entries (index)
+  PageId next_page = kInvalidPageId;  // leaf chain link
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(PageHeader) == 16, "page header layout is on-disk format");
+
+inline constexpr uint32_t kPageHeaderSize = sizeof(PageHeader);
+inline constexpr uint32_t kPagePayloadSize = kPageSize - kPageHeaderSize;
+
+/// Reads the header from raw page bytes.
+inline PageHeader ReadPageHeader(const char* page_data) {
+  PageHeader h;
+  std::memcpy(&h, page_data, sizeof(h));
+  return h;
+}
+
+/// Writes the header into raw page bytes.
+inline void WritePageHeader(char* page_data, const PageHeader& h) {
+  std::memcpy(page_data, &h, sizeof(h));
+}
+
+/// Physical address of one row: (page, slot within page).
+struct RowId {
+  PageId page = kInvalidPageId;
+  uint16_t slot = 0;
+
+  friend bool operator==(const RowId& a, const RowId& b) {
+    return a.page == b.page && a.slot == b.slot;
+  }
+  friend bool operator<(const RowId& a, const RowId& b) {
+    if (a.page != b.page) return a.page < b.page;
+    return a.slot < b.slot;
+  }
+};
+
+}  // namespace pioqo::storage
+
+#endif  // PIOQO_STORAGE_PAGE_H_

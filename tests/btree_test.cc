@@ -1,0 +1,178 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "io/ssd_device.h"
+#include "sim/simulator.h"
+#include "storage/disk_image.h"
+
+namespace pioqo::storage {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  std::vector<BPlusTree::Entry> MakeEntries(int n, int key_stride = 1) {
+    std::vector<BPlusTree::Entry> entries;
+    for (int i = 0; i < n; ++i) {
+      entries.push_back(BPlusTree::Entry{
+          i * key_stride, RowId{static_cast<PageId>(i / 10),
+                                static_cast<uint16_t>(i % 10)}});
+    }
+    return entries;
+  }
+
+  sim::Simulator sim_;
+  io::SsdDevice ssd_{sim_, io::SsdGeometry::ConsumerPcie()};
+  DiskImage disk_{ssd_};
+};
+
+TEST_F(BTreeTest, RejectsEmptyAndUnsorted) {
+  EXPECT_FALSE(BPlusTree::BulkBuild(disk_, {}).ok());
+  auto entries = MakeEntries(100);
+  std::swap(entries[3], entries[50]);
+  EXPECT_FALSE(BPlusTree::BulkBuild(disk_, entries).ok());
+}
+
+TEST_F(BTreeTest, SingleLeafTree) {
+  auto tree = BPlusTree::BulkBuild(disk_, MakeEntries(10));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->height(), 1);
+  EXPECT_EQ(tree->num_leaves(), 1u);
+  EXPECT_EQ(tree->root(), tree->first_leaf());
+  EXPECT_TRUE(BPlusTree::IsLeaf(disk_.PageData(tree->root())));
+}
+
+TEST_F(BTreeTest, TwoLevelTree) {
+  const int n = BPlusTree::kLeafCapacity * 3 + 5;
+  auto tree = BPlusTree::BulkBuild(disk_, MakeEntries(n));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->height(), 2);
+  EXPECT_EQ(tree->num_leaves(), 4u);
+  EXPECT_FALSE(BPlusTree::IsLeaf(disk_.PageData(tree->root())));
+  EXPECT_EQ(tree->num_entries(), static_cast<uint64_t>(n));
+}
+
+TEST_F(BTreeTest, ThreeLevelTree) {
+  const int n = BPlusTree::kLeafCapacity * (BPlusTree::kInternalCapacity + 2);
+  auto tree = BPlusTree::BulkBuild(disk_, MakeEntries(n, 3));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->height(), 3);
+}
+
+TEST_F(BTreeTest, LeafChainCoversAllEntriesInOrder) {
+  const int n = BPlusTree::kLeafCapacity * 2 + 100;
+  auto entries = MakeEntries(n, 2);
+  auto tree = BPlusTree::BulkBuild(disk_, entries);
+  ASSERT_TRUE(tree.ok());
+  PageId pid = tree->first_leaf();
+  size_t i = 0;
+  while (pid != kInvalidPageId) {
+    const char* leaf = disk_.PageData(pid);
+    for (uint16_t s = 0; s < BPlusTree::EntryCount(leaf); ++s, ++i) {
+      ASSERT_LT(i, entries.size());
+      EXPECT_EQ(BPlusTree::LeafEntryAt(leaf, s), entries[i]);
+    }
+    pid = BPlusTree::LeafNext(leaf);
+  }
+  EXPECT_EQ(i, entries.size());
+}
+
+TEST_F(BTreeTest, SeekCeilFindsExactAndBetween) {
+  auto tree = BPlusTree::BulkBuild(disk_, MakeEntries(10000, 10));
+  ASSERT_TRUE(tree.ok());
+  // Exact key 500.
+  auto pos = tree->SeekCeil(disk_, 500);
+  ASSERT_NE(pos.page, kInvalidPageId);
+  EXPECT_EQ(BPlusTree::LeafEntryAt(disk_.PageData(pos.page), pos.slot).key, 500);
+  // Key between entries (keys are multiples of 10): ceil(503) == 510.
+  pos = tree->SeekCeil(disk_, 503);
+  EXPECT_EQ(BPlusTree::LeafEntryAt(disk_.PageData(pos.page), pos.slot).key, 510);
+  // Before the smallest.
+  pos = tree->SeekCeil(disk_, -100);
+  EXPECT_EQ(BPlusTree::LeafEntryAt(disk_.PageData(pos.page), pos.slot).key, 0);
+  // Past the largest.
+  pos = tree->SeekCeil(disk_, 10000 * 10 + 1);
+  EXPECT_EQ(pos.page, kInvalidPageId);
+}
+
+TEST_F(BTreeTest, SeekCeilOnLeafBoundary) {
+  // Force a key that lands exactly at the end of a leaf.
+  const int n = BPlusTree::kLeafCapacity * 2;
+  auto tree = BPlusTree::BulkBuild(disk_, MakeEntries(n));
+  ASSERT_TRUE(tree.ok());
+  const int boundary_key = BPlusTree::kLeafCapacity;  // first key of leaf 2
+  auto pos = tree->SeekCeil(disk_, boundary_key);
+  ASSERT_NE(pos.page, kInvalidPageId);
+  EXPECT_EQ(BPlusTree::LeafEntryAt(disk_.PageData(pos.page), pos.slot).key,
+            boundary_key);
+  EXPECT_EQ(pos.slot, 0);
+}
+
+TEST_F(BTreeTest, CountRangeMatchesBruteForce) {
+  Pcg32 rng(99);
+  std::vector<BPlusTree::Entry> entries;
+  for (int i = 0; i < 50000; ++i) {
+    entries.push_back(
+        BPlusTree::Entry{static_cast<int32_t>(rng.UniformInt(0, 9999)),
+                         RowId{static_cast<PageId>(i), 0}});
+  }
+  std::sort(entries.begin(), entries.end());
+  auto tree = BPlusTree::BulkBuild(disk_, entries);
+  ASSERT_TRUE(tree.ok());
+  for (auto [lo, hi] : std::vector<std::pair<int32_t, int32_t>>{
+           {0, 9999}, {100, 200}, {5000, 5000}, {9999, 9999}, {200, 100}}) {
+    uint64_t expected = static_cast<uint64_t>(std::count_if(
+        entries.begin(), entries.end(),
+        [lo = lo, hi = hi](const auto& e) { return e.key >= lo && e.key <= hi; }));
+    EXPECT_EQ(tree->CountRange(disk_, lo, hi), expected)
+        << "range [" << lo << "," << hi << "]";
+  }
+}
+
+TEST_F(BTreeTest, DuplicateKeysAllRetained) {
+  std::vector<BPlusTree::Entry> entries;
+  for (int i = 0; i < 1000; ++i) {
+    entries.push_back(BPlusTree::Entry{
+        7, RowId{static_cast<PageId>(i), static_cast<uint16_t>(i % 5)}});
+  }
+  std::sort(entries.begin(), entries.end());
+  auto tree = BPlusTree::BulkBuild(disk_, entries);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->CountRange(disk_, 7, 7), 1000u);
+  EXPECT_EQ(tree->CountRange(disk_, 8, 100), 0u);
+}
+
+TEST_F(BTreeTest, NegativeKeys) {
+  auto entries = MakeEntries(1000);
+  for (auto& e : entries) e.key -= 500;
+  auto tree = BPlusTree::BulkBuild(disk_, entries);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->CountRange(disk_, -500, -1), 500u);
+  EXPECT_EQ(tree->CountRange(disk_, -1000, 1000), 1000u);
+}
+
+TEST_F(BTreeTest, InternalNavigationAgreesWithSeek) {
+  const int n = BPlusTree::kLeafCapacity * 20;
+  auto tree = BPlusTree::BulkBuild(disk_, MakeEntries(n, 7));
+  ASSERT_TRUE(tree.ok());
+  // Manual root-to-leaf descent must land on the same leaf as SeekCeil.
+  for (int32_t key : {0, 777, 7 * n / 2, 7 * (n - 1)}) {
+    const char* page = disk_.PageData(tree->root());
+    PageId pid = tree->root();
+    while (!BPlusTree::IsLeaf(page)) {
+      pid = BPlusTree::ChildFor(page, key);
+      page = disk_.PageData(pid);
+    }
+    auto pos = tree->SeekCeil(disk_, key);
+    // SeekCeil may roll to the next leaf if key > all keys in this leaf.
+    EXPECT_TRUE(pos.page == pid || pos.page == BPlusTree::LeafNext(page))
+        << "key=" << key;
+  }
+}
+
+}  // namespace
+}  // namespace pioqo::storage

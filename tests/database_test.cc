@@ -1,0 +1,146 @@
+#include "db/database.h"
+
+#include <gtest/gtest.h>
+
+#include "db/experiment_config.h"
+
+namespace pioqo::db {
+namespace {
+
+DatabaseOptions SmallSsd() {
+  DatabaseOptions opts;
+  opts.device = io::DeviceKind::kSsdConsumer;
+  opts.pool_pages = 1024;
+  opts.calibration.max_pages_per_point = 400;
+  opts.calibration.band_grid = {1, 512, 65536, 1 << 22};
+  return opts;
+}
+
+storage::DatasetConfig SmallTable(const std::string& name, uint64_t rows,
+                                  uint32_t rpp) {
+  storage::DatasetConfig cfg;
+  cfg.name = name;
+  cfg.num_rows = rows;
+  cfg.rows_per_page = rpp;
+  cfg.c2_domain = 1 << 24;
+  return cfg;
+}
+
+TEST(DatabaseTest, CreateAndGetTable) {
+  Database db(SmallSsd());
+  ASSERT_TRUE(db.CreateTable(SmallTable("t", 10000, 33)).ok());
+  auto table = db.GetTable("t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->table.num_rows(), 10000u);
+  EXPECT_FALSE(db.GetTable("missing").ok());
+  EXPECT_FALSE(db.CreateTable(SmallTable("t", 1, 1)).ok());  // duplicate
+}
+
+TEST(DatabaseTest, SelectivityMatchesPredicate) {
+  Database db(SmallSsd());
+  ASSERT_TRUE(db.CreateTable(SmallTable("t", 50000, 33)).ok());
+  auto sel = db.SelectivityOf(
+      "t", exec::RangePredicate{
+               0, storage::C2UpperBoundForSelectivity(1 << 24, 0.2)});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_NEAR(*sel, 0.2, 0.02);
+  auto empty = db.SelectivityOf("t", exec::RangePredicate{5, 1});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_DOUBLE_EQ(*empty, 0.0);
+}
+
+TEST(DatabaseTest, QueryRequiresCalibration) {
+  Database db(SmallSsd());
+  ASSERT_TRUE(db.CreateTable(SmallTable("t", 10000, 33)).ok());
+  auto outcome = db.ExecuteQuery("t", exec::RangePredicate{0, 100}, true, true);
+  EXPECT_EQ(outcome.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DatabaseTest, CalibrateInstallsModel) {
+  Database db(SmallSsd());
+  EXPECT_FALSE(db.calibrated());
+  auto result = db.Calibrate();
+  EXPECT_TRUE(db.calibrated());
+  EXPECT_TRUE(result.model.complete());
+  EXPECT_TRUE(db.qdtt().complete());
+}
+
+TEST(DatabaseTest, ForcedScansAgree) {
+  Database db(SmallSsd());
+  ASSERT_TRUE(db.CreateTable(SmallTable("t", 30000, 33)).ok());
+  exec::RangePredicate pred{0,
+                            storage::C2UpperBoundForSelectivity(1 << 24, 0.1)};
+  auto fts = db.ExecuteScan("t", pred, core::AccessMethod::kFts, 1, 0, true);
+  auto pis = db.ExecuteScan("t", pred, core::AccessMethod::kPis, 8, 4, true);
+  ASSERT_TRUE(fts.ok());
+  ASSERT_TRUE(pis.ok());
+  EXPECT_EQ(fts->rows_matched, pis->rows_matched);
+  EXPECT_EQ(fts->max_c1, pis->max_c1);
+}
+
+TEST(DatabaseTest, RejectsBadParallelDegree) {
+  Database db(SmallSsd());
+  ASSERT_TRUE(db.CreateTable(SmallTable("t", 1000, 33)).ok());
+  EXPECT_FALSE(
+      db.ExecuteScan("t", {0, 10}, core::AccessMethod::kFts, 0, 0, true).ok());
+  EXPECT_FALSE(
+      db.ExecuteScan("t", {0, 10}, core::AccessMethod::kFts, 64, 0, true).ok());
+}
+
+TEST(DatabaseTest, OptimizedQueryRunsChosenPlan) {
+  Database db(SmallSsd());
+  ASSERT_TRUE(db.CreateTable(SmallTable("t", 100000, 33)).ok());
+  db.Calibrate();
+  exec::RangePredicate pred{
+      0, storage::C2UpperBoundForSelectivity(1 << 24, 0.01)};
+  auto outcome = db.ExecuteQuery("t", pred, /*queue_depth_aware=*/true, true);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(outcome->scan.rows_matched, 0u);
+  EXPECT_FALSE(outcome->optimization.considered.empty());
+}
+
+TEST(DatabaseTest, QdttChoiceBeatsDttChoiceOnSsd) {
+  // The end-to-end Fig. 8 property, in miniature: at a selectivity inside
+  // the shifted break-even region, the QDTT optimizer's plan runs faster
+  // than the DTT optimizer's plan.
+  Database db(SmallSsd());
+  ASSERT_TRUE(db.CreateTable(SmallTable("t", 330000, 33)).ok());
+  db.Calibrate();
+  exec::RangePredicate pred{
+      0, storage::C2UpperBoundForSelectivity(1 << 24, 0.02)};
+  auto old_opt = db.ExecuteQuery("t", pred, /*queue_depth_aware=*/false, true);
+  auto new_opt = db.ExecuteQuery("t", pred, /*queue_depth_aware=*/true, true);
+  ASSERT_TRUE(old_opt.ok());
+  ASSERT_TRUE(new_opt.ok());
+  EXPECT_EQ(old_opt->scan.rows_matched, new_opt->scan.rows_matched);
+  EXPECT_LT(new_opt->scan.runtime_us, old_opt->scan.runtime_us);
+  // And the new optimizer picked a parallel plan.
+  EXPECT_GT(new_opt->optimization.chosen.dop, 1);
+  EXPECT_EQ(old_opt->optimization.chosen.dop, 1);
+}
+
+TEST(ExperimentConfigTest, TableOneHasSixConfigs) {
+  auto configs = PaperExperimentConfigs();
+  ASSERT_EQ(configs.size(), 6u);
+  int hdd = 0, ssd = 0;
+  for (const auto& c : configs) {
+    if (c.device == io::DeviceKind::kHdd7200) ++hdd;
+    if (c.device == io::DeviceKind::kSsdConsumer) ++ssd;
+    EXPECT_GT(c.num_rows(), 0u);
+  }
+  EXPECT_EQ(hdd, 3);
+  EXPECT_EQ(ssd, 3);
+}
+
+TEST(ExperimentConfigTest, LookupAndScale) {
+  auto full = PaperExperimentConfig("E33-SSD");
+  EXPECT_EQ(full.rows_per_page, 33u);
+  EXPECT_EQ(full.device, io::DeviceKind::kSsdConsumer);
+  auto small = PaperExperimentConfig("E33-SSD", 0.1);
+  EXPECT_LT(small.data_pages, full.data_pages);
+  EXPECT_NEAR(static_cast<double>(small.data_pages) / full.data_pages, 0.1,
+              0.02);
+}
+
+}  // namespace
+}  // namespace pioqo::db

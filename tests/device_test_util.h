@@ -1,0 +1,70 @@
+#ifndef PIOQO_TESTS_DEVICE_TEST_UTIL_H_
+#define PIOQO_TESTS_DEVICE_TEST_UTIL_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "io/device.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace pioqo::io::testing {
+
+/// Drives `threads` simulated synchronous readers, each issuing
+/// `reads_per_thread` random `read_bytes`-sized reads uniformly within
+/// [0, band_bytes), and returns the measured device throughput in MB/s.
+/// This reproduces the paper's Fig. 1 measurement methodology (queue depth
+/// == number of threads).
+inline double MeasureRandomReadThroughput(sim::Simulator& sim, Device& device,
+                                          int threads, int reads_per_thread,
+                                          uint32_t read_bytes,
+                                          uint64_t band_bytes, uint64_t seed) {
+  device.stats().Reset();
+  sim::Latch latch(sim, threads);
+  auto reader = [&](uint64_t thread_seed) -> sim::Task {
+    Pcg32 rng(thread_seed);
+    for (int i = 0; i < reads_per_thread; ++i) {
+      uint64_t pages = band_bytes / read_bytes;
+      uint64_t offset = rng.UniformBelow(pages) * read_bytes;
+      co_await device.Read(offset, read_bytes);
+    }
+    latch.CountDown();
+  };
+  for (int t = 0; t < threads; ++t) reader(seed + static_cast<uint64_t>(t));
+  sim.Run();
+  return device.stats().ThroughputMbps();
+}
+
+/// Sequentially reads `total_bytes` in `block_bytes` blocks with one reader
+/// keeping `window` blocks outstanding; returns MB/s.
+inline double MeasureSequentialReadThroughput(sim::Simulator& sim,
+                                              Device& device,
+                                              uint64_t total_bytes,
+                                              uint32_t block_bytes,
+                                              int window = 4) {
+  device.stats().Reset();
+  sim::Latch latch(sim, 1);
+  auto reader = [&]() -> sim::Task {
+    sim::Semaphore slots(sim, window);
+    sim::Latch all(sim, static_cast<int64_t>(total_bytes / block_bytes));
+    for (uint64_t off = 0; off + block_bytes <= total_bytes;
+         off += block_bytes) {
+      co_await slots.WaitAcquire();
+      device.Submit(IoRequest{IoRequest::Kind::kRead, off, block_bytes},
+                    [&slots, &all] {
+                      slots.Release();
+                      all.CountDown();
+                    });
+    }
+    co_await all.Wait();
+    latch.CountDown();
+  };
+  reader();
+  sim.Run();
+  return device.stats().ThroughputMbps();
+}
+
+}  // namespace pioqo::io::testing
+
+#endif  // PIOQO_TESTS_DEVICE_TEST_UTIL_H_

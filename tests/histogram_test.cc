@@ -1,0 +1,97 @@
+#include "core/histogram.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "db/database.h"
+
+namespace pioqo::core {
+namespace {
+
+TEST(HistogramTest, RejectsBadInput) {
+  EXPECT_FALSE(EquiWidthHistogram::Build({}, 8).ok());
+  EXPECT_FALSE(EquiWidthHistogram::Build({1, 2, 3}, 0).ok());
+}
+
+TEST(HistogramTest, SingleValue) {
+  auto h = EquiWidthHistogram::Build({7, 7, 7}, 4);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->min_value(), 7);
+  EXPECT_EQ(h->max_value(), 7);
+  EXPECT_DOUBLE_EQ(h->EstimateRangeSelectivity(7, 7), 1.0);
+  EXPECT_DOUBLE_EQ(h->EstimateRangeSelectivity(8, 100), 0.0);
+  EXPECT_DOUBLE_EQ(h->EstimateRangeSelectivity(0, 6), 0.0);
+}
+
+TEST(HistogramTest, UniformDataEstimatesAreAccurate) {
+  Pcg32 rng(5);
+  std::vector<int32_t> values;
+  for (int i = 0; i < 200000; ++i) {
+    values.push_back(static_cast<int32_t>(rng.UniformBelow(1 << 20)));
+  }
+  auto h = EquiWidthHistogram::Build(values, 64);
+  ASSERT_TRUE(h.ok());
+  for (double sel : {0.001, 0.01, 0.25, 0.9}) {
+    const int32_t hi = static_cast<int32_t>(sel * (1 << 20)) - 1;
+    EXPECT_NEAR(h->EstimateRangeSelectivity(0, hi), sel, 0.01)
+        << "sel=" << sel;
+  }
+  EXPECT_DOUBLE_EQ(h->EstimateRangeSelectivity(5, 4), 0.0);  // empty range
+}
+
+TEST(HistogramTest, SkewedDataRespectsBucketCounts) {
+  // 90% of the mass in [0, 100), 10% in [900, 1000).
+  std::vector<int32_t> values;
+  Pcg32 rng(6);
+  for (int i = 0; i < 9000; ++i) {
+    values.push_back(static_cast<int32_t>(rng.UniformBelow(100)));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(static_cast<int32_t>(900 + rng.UniformBelow(100)));
+  }
+  auto h = EquiWidthHistogram::Build(values, 10);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h->EstimateRangeSelectivity(0, 99), 0.9, 0.02);
+  EXPECT_NEAR(h->EstimateRangeSelectivity(900, 999), 0.1, 0.02);
+  EXPECT_NEAR(h->EstimateRangeSelectivity(200, 800), 0.0, 0.02);
+}
+
+TEST(HistogramTest, RangeBeyondDomainClamps) {
+  auto h = EquiWidthHistogram::Build({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5);
+  ASSERT_TRUE(h.ok());
+  EXPECT_DOUBLE_EQ(h->EstimateRangeSelectivity(INT32_MIN, INT32_MAX), 1.0);
+  EXPECT_NEAR(h->EstimateRangeSelectivity(-100, 4), 0.5, 1e-9);
+}
+
+TEST(HistogramTest, ToStringMentionsBounds) {
+  auto h = EquiWidthHistogram::Build({1, 2, 3}, 2);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NE(h->ToString().find("[1, 3]"), std::string::npos);
+}
+
+TEST(DatabaseHistogramTest, EstimateTracksExactSelectivity) {
+  db::DatabaseOptions options;
+  options.device = io::DeviceKind::kSsdConsumer;
+  db::Database database(options);
+  storage::DatasetConfig cfg;
+  cfg.name = "t";
+  cfg.num_rows = 100000;
+  cfg.rows_per_page = 33;
+  cfg.c2_domain = 1 << 24;
+  ASSERT_TRUE(database.CreateTable(cfg).ok());
+  for (double sel : {0.002, 0.05, 0.5}) {
+    exec::RangePredicate pred{
+        0, storage::C2UpperBoundForSelectivity(cfg.c2_domain, sel)};
+    auto exact = database.SelectivityOf("t", pred);
+    auto estimate = database.EstimatedSelectivityOf("t", pred);
+    ASSERT_TRUE(exact.ok() && estimate.ok());
+    EXPECT_NEAR(*estimate, *exact, 0.01 + *exact * 0.2) << "sel=" << sel;
+  }
+  EXPECT_FALSE(database.EstimatedSelectivityOf("missing", {0, 1}).ok());
+  EXPECT_TRUE(database.HistogramFor("t").ok());
+}
+
+}  // namespace
+}  // namespace pioqo::core

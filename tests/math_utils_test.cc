@@ -1,0 +1,103 @@
+#include "common/math_utils.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace pioqo {
+namespace {
+
+TEST(CeilDivTest, Basic) {
+  EXPECT_EQ(CeilDiv(0, 4), 0u);
+  EXPECT_EQ(CeilDiv(1, 4), 1u);
+  EXPECT_EQ(CeilDiv(4, 4), 1u);
+  EXPECT_EQ(CeilDiv(5, 4), 2u);
+}
+
+TEST(YaoTest, ZeroSelectedIsZeroPages) {
+  EXPECT_DOUBLE_EQ(YaoExpectedPages(1000, 10, 0), 0.0);
+}
+
+TEST(YaoTest, OneRowPerPageIsIdentity) {
+  // With a single row per page, k selected rows touch exactly k pages.
+  for (uint64_t k : {1u, 10u, 500u, 1000u}) {
+    EXPECT_NEAR(YaoExpectedPages(1000, 1, k), static_cast<double>(k), 1e-6);
+  }
+}
+
+TEST(YaoTest, AllRowsTouchAllPages) {
+  EXPECT_NEAR(YaoExpectedPages(1000, 10, 1000), 100.0, 1e-6);
+}
+
+TEST(YaoTest, MoreThanComplementTouchesAllPages) {
+  // If k > n - m, every page must contain a selected row.
+  EXPECT_NEAR(YaoExpectedPages(1000, 10, 991), 100.0, 1e-9);
+}
+
+TEST(YaoTest, MonotoneInSelected) {
+  double prev = 0.0;
+  for (uint64_t k = 0; k <= 2000; k += 100) {
+    double pages = YaoExpectedPages(33000, 33, k);
+    EXPECT_GE(pages, prev);
+    prev = pages;
+  }
+}
+
+TEST(YaoTest, BoundedByMinOfKAndPages) {
+  double pages = YaoExpectedPages(33000, 33, 100);
+  EXPECT_LE(pages, 100.0);
+  EXPECT_LE(pages, 1000.0);
+  EXPECT_GT(pages, 90.0);  // at 0.3% selectivity collisions are rare
+}
+
+TEST(YaoTest, ManyRowsPerPageApproachesAllPagesQuickly) {
+  // Paper Sec. 2: "as the number of rows per page increases, even at small
+  // selectivity, the number of pages that must be fetched quickly
+  // approaches 100% of the table pages."
+  const uint64_t pages = 1000;
+  // 500 rows/page, 2% selectivity.
+  double touched_500 = YaoExpectedPages(pages * 500, 500, pages * 500 / 50);
+  EXPECT_GT(touched_500 / static_cast<double>(pages), 0.99);
+  // 1 row/page, 2% selectivity touches only 2% of pages.
+  double touched_1 = YaoExpectedPages(pages, 1, pages / 50);
+  EXPECT_NEAR(touched_1 / static_cast<double>(pages), 0.02, 1e-6);
+}
+
+TEST(YaoTest, HugeTableNumericallyStable) {
+  // 80M rows (the paper's Fig. 5 table), 33 rows/page.
+  double pages = YaoExpectedPages(80'000'000, 33, 2'400'000);
+  EXPECT_GT(pages, 0.0);
+  EXPECT_LE(pages, 80'000'000.0 / 33.0 + 1);
+  EXPECT_FALSE(std::isnan(pages));
+}
+
+TEST(ExpectedIndexScanFetchesTest, FitsInPoolEqualsDistinct) {
+  double distinct = YaoExpectedPages(33000, 33, 200);
+  double fetches = ExpectedIndexScanFetches(1000, 33, 200, 1000);
+  EXPECT_NEAR(fetches, distinct, 1e-9);
+}
+
+TEST(ExpectedIndexScanFetchesTest, SmallPoolAddsRefetches) {
+  // At high selectivity with a tiny pool, fetches exceed distinct pages
+  // (paper Sec. 2: pages "fetched multiple times" when memory is small).
+  const uint64_t table_pages = 1000, rpp = 33;
+  const uint64_t k = 20000;  // ~60% selectivity
+  double distinct = YaoExpectedPages(table_pages * rpp, rpp, k);
+  double fetches = ExpectedIndexScanFetches(table_pages, rpp, k, 50);
+  EXPECT_GT(fetches, distinct);
+  // And can exceed the number of pages a full scan would read.
+  EXPECT_GT(fetches, static_cast<double>(table_pages));
+}
+
+TEST(ExpectedIndexScanFetchesTest, LargerPoolNeverMoreFetches) {
+  const uint64_t table_pages = 2000, rpp = 33, k = 30000;
+  double prev = 1e18;
+  for (uint64_t pool : {10u, 100u, 500u, 1000u, 2000u}) {
+    double fetches = ExpectedIndexScanFetches(table_pages, rpp, k, pool);
+    EXPECT_LE(fetches, prev + 1e-9);
+    prev = fetches;
+  }
+}
+
+}  // namespace
+}  // namespace pioqo

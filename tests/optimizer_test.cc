@@ -1,0 +1,172 @@
+#include "opt/optimizer.h"
+
+#include <gtest/gtest.h>
+
+namespace pioqo::opt {
+namespace {
+
+/// SSD-like calibrated grid (sequential cheap; random scaling with depth).
+core::QdttModel SsdLikeModel() {
+  core::QdttModel m({1, 1024, 1 << 20}, core::QdttModel::DefaultQdGrid());
+  for (size_t b = 0; b < 3; ++b) {
+    for (size_t q = 0; q < 6; ++q) {
+      double qd = m.qd_grid()[q];
+      double base = b == 0 ? 8.0 : (b == 1 ? 150.0 : 180.0);
+      m.SetPoint(b, q, b == 0 ? base / std::min(qd, 2.0) : base / qd + 5.0);
+    }
+  }
+  return m;
+}
+
+core::QdttModel HddLikeModel() {
+  core::QdttModel m({1, 1024, 1 << 20}, core::QdttModel::DefaultQdGrid());
+  for (size_t b = 0; b < 3; ++b) {
+    for (size_t q = 0; q < 6; ++q) {
+      double qd = m.qd_grid()[q];
+      double base = b == 0 ? 45.0 : (b == 1 ? 6000.0 : 13000.0);
+      m.SetPoint(b, q, b == 0 ? base : base / std::min(qd, 3.0));
+    }
+  }
+  return m;
+}
+
+core::TableProfile Profile33() {
+  core::TableProfile t;
+  t.table_pages = 16384;
+  t.rows_per_page = 33;
+  t.rows = 16384ull * 33;
+  t.index_height = 2;
+  t.index_leaves = static_cast<uint32_t>(t.rows / 408 + 1);
+  t.pool_pages = 2048;
+  return t;
+}
+
+TEST(OptimizerTest, EnumeratesAllCandidates) {
+  auto model = SsdLikeModel();
+  Optimizer opt(model, core::CostConstants{}, OptimizerOptions{});
+  auto result = opt.ChooseAccessPath(Profile33(), 0.01);
+  // 6 degrees x (1 FTS + 1 IS-prefetch-variant).
+  EXPECT_EQ(result.considered.size(), 12u);
+}
+
+TEST(OptimizerTest, TinySelectivityPicksIndexScan) {
+  auto model = SsdLikeModel();
+  Optimizer opt(model, core::CostConstants{}, OptimizerOptions{});
+  auto result = opt.ChooseAccessPath(Profile33(), 1e-5);
+  EXPECT_TRUE(result.chosen.method == core::AccessMethod::kIs ||
+              result.chosen.method == core::AccessMethod::kPis);
+}
+
+TEST(OptimizerTest, HugeSelectivityPicksTableScan) {
+  auto model = SsdLikeModel();
+  Optimizer opt(model, core::CostConstants{}, OptimizerOptions{});
+  auto result = opt.ChooseAccessPath(Profile33(), 0.9);
+  EXPECT_TRUE(result.chosen.method == core::AccessMethod::kFts ||
+              result.chosen.method == core::AccessMethod::kPfts);
+}
+
+TEST(OptimizerTest, QdttOptimizerPrefersParallelOnSsd) {
+  // Fig. 8: "after using QDTT in all three experiments a parallel plan with
+  // parallel degree 32 is selected."
+  auto model = SsdLikeModel();
+  OptimizerOptions options;
+  options.queue_depth_aware = true;
+  Optimizer opt(model, core::CostConstants{}, options);
+  auto result = opt.ChooseAccessPath(Profile33(), 0.01);
+  EXPECT_EQ(result.chosen.method, core::AccessMethod::kPis);
+  EXPECT_EQ(result.chosen.dop, 32);
+}
+
+TEST(OptimizerTest, DttOptimizerPrefersNonParallel) {
+  // "The old optimizer ... always prefers a non-parallel method over a
+  // parallel one for these experiments."
+  auto model = SsdLikeModel();
+  OptimizerOptions options;
+  options.queue_depth_aware = false;
+  Optimizer opt(model, core::CostConstants{}, options);
+  for (double sel : {0.001, 0.01, 0.1, 0.6}) {
+    auto result = opt.ChooseAccessPath(Profile33(), sel);
+    EXPECT_EQ(result.chosen.dop, 1) << "sel=" << sel;
+  }
+}
+
+TEST(OptimizerTest, HddModelKeepsChoicesNonParallelForIs) {
+  // On the HDD model queue depth buys little: QDTT should not flip IS
+  // decisions wholesale (it may still pick small-dop PFTS for CPU reasons).
+  auto model = HddLikeModel();
+  OptimizerOptions options;
+  options.queue_depth_aware = true;
+  Optimizer opt(model, core::CostConstants{}, options);
+  auto result = opt.ChooseAccessPath(Profile33(), 0.3);
+  // FTS family must win at 30% selectivity on spinning disk.
+  EXPECT_TRUE(result.chosen.method == core::AccessMethod::kFts ||
+              result.chosen.method == core::AccessMethod::kPfts);
+}
+
+TEST(OptimizerTest, BreakEvenShiftsRightWithQdtt) {
+  auto model = SsdLikeModel();
+  auto cross = [&](bool aware) {
+    OptimizerOptions options;
+    options.queue_depth_aware = aware;
+    Optimizer opt(model, core::CostConstants{}, options);
+    for (double sel = 1e-5; sel < 1.0; sel *= 1.25) {
+      auto result = opt.ChooseAccessPath(Profile33(), sel);
+      if (result.chosen.method == core::AccessMethod::kFts ||
+          result.chosen.method == core::AccessMethod::kPfts) {
+        return sel;
+      }
+    }
+    return 1.0;
+  };
+  EXPECT_GT(cross(true), cross(false) * 2.0);
+}
+
+TEST(OptimizerTest, ForceParallelStillSuboptimalUnderDtt) {
+  // Sec. 4.2's thought experiment: forcing parallel plans under DTT costing
+  // can pick the wrong *kind* of parallel plan. At a selectivity where
+  // QDTT's winner is PIS32, DTT+force-parallel picks a plan whose DTT cost
+  // ranks FTS-family first.
+  auto model = SsdLikeModel();
+  OptimizerOptions forced;
+  forced.queue_depth_aware = false;
+  forced.force_parallel = true;
+  Optimizer dtt_forced(model, core::CostConstants{}, forced);
+
+  OptimizerOptions aware;
+  aware.queue_depth_aware = true;
+  Optimizer qdtt(model, core::CostConstants{}, aware);
+
+  // Selectivity in the shifted region: QDTT says parallel index scan.
+  const double sel = 0.005;
+  auto qdtt_choice = qdtt.ChooseAccessPath(Profile33(), sel);
+  auto forced_choice = dtt_forced.ChooseAccessPath(Profile33(), sel);
+  EXPECT_EQ(qdtt_choice.chosen.method, core::AccessMethod::kPis);
+  EXPECT_NE(forced_choice.chosen.method, core::AccessMethod::kPis);
+  EXPECT_GT(forced_choice.chosen.dop, 1);
+}
+
+TEST(OptimizerTest, PrefetchDepthsAreEnumerated) {
+  auto model = SsdLikeModel();
+  OptimizerOptions options;
+  options.prefetch_depths = {0, 8, 32};
+  options.parallel_degrees = {1, 4};
+  Optimizer opt(model, core::CostConstants{}, options);
+  auto result = opt.ChooseAccessPath(Profile33(), 0.005);
+  // 2 degrees x (1 FTS + 3 IS variants).
+  EXPECT_EQ(result.considered.size(), 8u);
+  // With prefetching available, a low-dop prefetching PIS can beat dop-4
+  // plain PIS (Fig. 5's "maximum with fewer workers").
+  EXPECT_GT(result.chosen.prefetch_depth, 0);
+}
+
+TEST(OptimizerTest, ExplainListsPlansSorted) {
+  auto model = SsdLikeModel();
+  Optimizer opt(model, core::CostConstants{}, OptimizerOptions{});
+  auto result = opt.ChooseAccessPath(Profile33(), 0.01);
+  std::string explain = result.Explain();
+  EXPECT_NE(explain.find("chosen:"), std::string::npos);
+  EXPECT_NE(explain.find("FTS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pioqo::opt

@@ -1,0 +1,140 @@
+// Property-based B+-tree tests: for randomly generated key multisets (with
+// heavy duplication) and every leaf fill factor, tree search must agree
+// with the sorted reference vector.
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "io/ssd_device.h"
+#include "sim/simulator.h"
+#include "storage/btree.h"
+#include "storage/disk_image.h"
+
+namespace pioqo::storage {
+namespace {
+
+struct BTreeCase {
+  int num_entries;
+  int32_t key_domain;  // keys uniform in [0, key_domain)
+  uint16_t leaf_fill;
+  uint64_t seed;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<BTreeCase>& info) {
+  const auto& c = info.param;
+  return "n" + std::to_string(c.num_entries) + "_dom" +
+         std::to_string(c.key_domain) + "_fill" +
+         std::to_string(c.leaf_fill) + "_seed" + std::to_string(c.seed);
+}
+
+class BTreePropertyTest : public ::testing::TestWithParam<BTreeCase> {
+ protected:
+  void SetUp() override {
+    const BTreeCase& c = GetParam();
+    Pcg32 rng(c.seed);
+    for (int i = 0; i < c.num_entries; ++i) {
+      entries_.push_back(BPlusTree::Entry{
+          static_cast<int32_t>(rng.UniformBelow(
+              static_cast<uint64_t>(c.key_domain))),
+          RowId{static_cast<PageId>(i / 33), static_cast<uint16_t>(i % 33)}});
+    }
+    std::sort(entries_.begin(), entries_.end());
+    auto tree = BPlusTree::BulkBuild(disk_, entries_, c.leaf_fill);
+    ASSERT_TRUE(tree.ok());
+    tree_.emplace(*tree);
+  }
+
+  sim::Simulator sim_;
+  io::SsdDevice ssd_{sim_, io::SsdGeometry::ConsumerPcie()};
+  DiskImage disk_{ssd_};
+  std::vector<BPlusTree::Entry> entries_;
+  std::optional<BPlusTree> tree_;
+};
+
+TEST_P(BTreePropertyTest, StructuralInvariants) {
+  const BTreeCase& c = GetParam();
+  // Leaf count, entry count, and full coverage of the leaf chain.
+  EXPECT_EQ(tree_->num_entries(), entries_.size());
+  const uint64_t expected_leaves =
+      (entries_.size() + c.leaf_fill - 1) / c.leaf_fill;
+  EXPECT_EQ(tree_->num_leaves(), expected_leaves);
+
+  size_t i = 0;
+  int32_t prev_key = INT32_MIN;
+  PageId pid = tree_->first_leaf();
+  while (pid != kInvalidPageId) {
+    const char* leaf = disk_.PageData(pid);
+    EXPECT_TRUE(BPlusTree::IsLeaf(leaf));
+    const uint16_t n = BPlusTree::EntryCount(leaf);
+    EXPECT_LE(n, c.leaf_fill);
+    for (uint16_t s = 0; s < n; ++s, ++i) {
+      auto entry = BPlusTree::LeafEntryAt(leaf, s);
+      EXPECT_GE(entry.key, prev_key);
+      prev_key = entry.key;
+      ASSERT_LT(i, entries_.size());
+      EXPECT_EQ(entry, entries_[i]);
+    }
+    pid = BPlusTree::LeafNext(leaf);
+  }
+  EXPECT_EQ(i, entries_.size());
+}
+
+TEST_P(BTreePropertyTest, SeekCeilAgreesWithLowerBound) {
+  const BTreeCase& c = GetParam();
+  Pcg32 rng(c.seed + 1);
+  for (int probe = 0; probe < 60; ++probe) {
+    const int32_t key = static_cast<int32_t>(
+        rng.UniformInt(-2, c.key_domain + 2));
+    auto pos = tree_->SeekCeil(disk_, key);
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const BPlusTree::Entry& e, int32_t k) { return e.key < k; });
+    if (it == entries_.end()) {
+      EXPECT_EQ(pos.page, kInvalidPageId) << "key=" << key;
+    } else {
+      ASSERT_NE(pos.page, kInvalidPageId) << "key=" << key;
+      auto found = BPlusTree::LeafEntryAt(disk_.PageData(pos.page), pos.slot);
+      EXPECT_EQ(found, *it) << "key=" << key;
+    }
+  }
+}
+
+TEST_P(BTreePropertyTest, CountRangeAgreesWithBruteForce) {
+  const BTreeCase& c = GetParam();
+  Pcg32 rng(c.seed + 2);
+  for (int probe = 0; probe < 30; ++probe) {
+    int32_t lo = static_cast<int32_t>(rng.UniformInt(-1, c.key_domain));
+    int32_t hi = static_cast<int32_t>(rng.UniformInt(-1, c.key_domain));
+    const uint64_t expected = static_cast<uint64_t>(std::count_if(
+        entries_.begin(), entries_.end(),
+        [&](const BPlusTree::Entry& e) { return e.key >= lo && e.key <= hi; }));
+    EXPECT_EQ(tree_->CountRange(disk_, lo, hi), expected)
+        << "[" << lo << "," << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BTreePropertyTest,
+    ::testing::Values(
+        // Unique-ish keys at several fills.
+        BTreeCase{5000, 1 << 30, BPlusTree::kLeafCapacity, 1},
+        BTreeCase{5000, 1 << 30, 64, 2},
+        BTreeCase{5000, 1 << 30, 7, 3},
+        BTreeCase{5000, 1 << 30, 1, 4},  // one entry per leaf
+        // Heavy duplication (domain far smaller than entry count).
+        BTreeCase{20000, 50, 64, 5},
+        BTreeCase{20000, 3, BPlusTree::kLeafCapacity, 6},
+        BTreeCase{20000, 1, 64, 7},  // a single key everywhere
+        // Sizes straddling 1, 2 and 3 levels.
+        BTreeCase{1, 10, 64, 8},
+        BTreeCase{64, 1000, 64, 9},
+        BTreeCase{65, 1000, 64, 10},
+        BTreeCase{40000, 1 << 20, 16, 11}),
+    CaseName);
+
+}  // namespace
+}  // namespace pioqo::storage

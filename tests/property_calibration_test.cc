@@ -1,0 +1,141 @@
+// Property-based calibration tests: for every device x method combination,
+// the measured amortized cost must obey the physical monotonicities the
+// QDTT model is built on, and the measurement machinery must be
+// deterministic and budget-bounded.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/calibrator.h"
+#include "io/device_factory.h"
+#include "sim/simulator.h"
+#include "storage/page.h"
+
+namespace pioqo::core {
+namespace {
+
+struct CalCase {
+  io::DeviceKind device;
+  CalibrationMethod method;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<CalCase>& info) {
+  return std::string(io::DeviceKindName(info.param.device)) + "_" +
+         std::string(CalibrationMethodName(info.param.method));
+}
+
+class CalibrationPropertyTest : public ::testing::TestWithParam<CalCase> {
+ protected:
+  void SetUp() override {
+    device_ = io::MakeDevice(sim_, GetParam().device);
+    CalibratorOptions options;
+    options.max_pages_per_point = 400;
+    calibrator_ = std::make_unique<Calibrator>(sim_, *device_, options);
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<io::Device> device_;
+  std::unique_ptr<Calibrator> calibrator_;
+};
+
+TEST_P(CalibrationPropertyTest, DeterministicForFixedSeed) {
+  // Bit-identical across independent runs. (Back-to-back measurements on
+  // the *same* device may differ: head position and FTL cache state
+  // legitimately carry over.)
+  const auto& p = GetParam();
+  auto measure = [&] {
+    sim::Simulator sim;
+    auto device = io::MakeDevice(sim, p.device);
+    CalibratorOptions options;
+    options.max_pages_per_point = 400;
+    Calibrator calibrator(sim, *device, options);
+    return calibrator.MeasurePoint(4096, 8, p.method, 42);
+  };
+  EXPECT_DOUBLE_EQ(measure(), measure());
+}
+
+TEST_P(CalibrationPropertyTest, CostNonIncreasingInQueueDepthForAw) {
+  // Physical property: more outstanding requests never slow the *amortized*
+  // per-request cost on any of our devices (AW and MT sustain the depth;
+  // GW only approximately, so it is excluded).
+  const auto& p = GetParam();
+  if (p.method == CalibrationMethod::kGroupWaiting) GTEST_SKIP();
+  double prev = 1e18;
+  for (int qd : {1, 2, 4, 8, 16, 32}) {
+    double cost =
+        calibrator_->MeasurePointStats(1 << 20, qd, p.method, 3, 7).mean();
+    EXPECT_LE(cost, prev * 1.10) << "qd=" << qd;  // 10% noise allowance
+    prev = cost;
+  }
+}
+
+TEST_P(CalibrationPropertyTest, CostNonDecreasingInBandSize) {
+  const auto& p = GetParam();
+  double prev = 0.0;
+  for (uint64_t band : {64ull, 4096ull, 262144ull, 1ull << 23}) {
+    double cost =
+        calibrator_->MeasurePointStats(band, 4, p.method, 3, 13).mean();
+    EXPECT_GE(cost, prev * 0.85) << "band=" << band;  // noise allowance
+    prev = cost;
+  }
+}
+
+TEST_P(CalibrationPropertyTest, RespectsPageBudgetForAnyBand) {
+  const auto& p = GetParam();
+  for (uint64_t band : {1ull, 16ull, 399ull, 400ull, 401ull, 1ull << 22}) {
+    device_->stats().Reset();
+    calibrator_->MeasurePoint(band, 4, p.method, 21);
+    EXPECT_LE(device_->stats().reads(), 400u) << "band=" << band;
+    EXPECT_GT(device_->stats().reads(), 0u) << "band=" << band;
+  }
+}
+
+TEST_P(CalibrationPropertyTest, SequentialBandIsCheapest) {
+  const auto& p = GetParam();
+  double seq = calibrator_->MeasurePoint(1, 1, p.method, 31);
+  double random =
+      calibrator_->MeasurePoint(device_->capacity_bytes() / storage::kPageSize,
+                                1, p.method, 31);
+  EXPECT_LT(seq, random);
+}
+
+TEST_P(CalibrationPropertyTest, FullCalibrationAlwaysCompletesTheGrid) {
+  const auto& p = GetParam();
+  CalibratorOptions options;
+  options.max_pages_per_point = 256;
+  options.method = p.method;
+  options.band_grid = {1, 4096, 1 << 22};
+  Calibrator calibrator(sim_, *device_, options);
+  auto result = calibrator.Calibrate();
+  EXPECT_TRUE(result.model.complete());
+  EXPECT_EQ(static_cast<size_t>(result.points_measured) +
+                static_cast<size_t>(result.points_defaulted),
+            3 * options.qd_grid.size());
+  // Every grid point is positive and finite.
+  for (size_t b = 0; b < result.model.num_bands(); ++b) {
+    for (size_t q = 0; q < result.model.num_qds(); ++q) {
+      EXPECT_GT(result.model.PointAt(b, q), 0.0);
+      EXPECT_LT(result.model.PointAt(b, q), 1e9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CalibrationPropertyTest,
+    ::testing::Values(
+        CalCase{io::DeviceKind::kHdd7200, CalibrationMethod::kMultiThread},
+        CalCase{io::DeviceKind::kHdd7200, CalibrationMethod::kGroupWaiting},
+        CalCase{io::DeviceKind::kHdd7200, CalibrationMethod::kActiveWaiting},
+        CalCase{io::DeviceKind::kSsdConsumer, CalibrationMethod::kMultiThread},
+        CalCase{io::DeviceKind::kSsdConsumer, CalibrationMethod::kGroupWaiting},
+        CalCase{io::DeviceKind::kSsdConsumer,
+                CalibrationMethod::kActiveWaiting},
+        CalCase{io::DeviceKind::kRaid8, CalibrationMethod::kMultiThread},
+        CalCase{io::DeviceKind::kRaid8, CalibrationMethod::kGroupWaiting},
+        CalCase{io::DeviceKind::kRaid8, CalibrationMethod::kActiveWaiting}),
+    CaseName);
+
+}  // namespace
+}  // namespace pioqo::core

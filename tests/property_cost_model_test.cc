@@ -1,0 +1,151 @@
+// Property-based cost model tests: for a family of randomly generated (but
+// physically plausible) QDTT grids and table profiles, the cost estimates
+// must obey the monotonicities the optimizer's correctness rests on.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cost_model.h"
+
+namespace pioqo::core {
+namespace {
+
+struct ModelCase {
+  uint64_t seed;
+  bool queue_benefit;  // device gains from queue depth (SSD/RAID-like)
+};
+
+std::string CaseName(const ::testing::TestParamInfo<ModelCase>& info) {
+  return std::string(info.param.queue_benefit ? "parallel" : "serial") +
+         "_seed" + std::to_string(info.param.seed);
+}
+
+class CostModelPropertyTest : public ::testing::TestWithParam<ModelCase> {
+ protected:
+  /// A random grid that is monotone in both axes (costs rise with band,
+  /// fall — or stay flat — with queue depth), like any real calibration.
+  QdttModel RandomModel() {
+    const ModelCase& c = GetParam();
+    Pcg32 rng(c.seed);
+    QdttModel m({1, 256, 16384, 1 << 20}, QdttModel::DefaultQdGrid());
+    double band_cost = 5.0 + rng.NextDouble() * 20.0;
+    for (size_t b = 0; b < m.num_bands(); ++b) {
+      double cost = band_cost;
+      for (size_t q = 0; q < m.num_qds(); ++q) {
+        m.SetPoint(b, q, cost);
+        if (c.queue_benefit && b > 0) {
+          cost /= 1.5 + rng.NextDouble();  // deeper queue gets cheaper
+        }
+      }
+      band_cost *= 1.5 + rng.NextDouble() * (b == 0 ? 10.0 : 1.0);
+    }
+    return m;
+  }
+
+  TableProfile RandomProfile() {
+    Pcg32 rng(GetParam().seed + 99);
+    TableProfile t;
+    t.table_pages = static_cast<uint32_t>(1000 + rng.UniformBelow(50000));
+    t.rows_per_page = static_cast<uint32_t>(1 + rng.UniformBelow(400));
+    t.rows = static_cast<uint64_t>(t.table_pages) * t.rows_per_page;
+    t.index_height = 2;
+    t.index_leaves = static_cast<uint32_t>(t.rows / 64 + 1);
+    t.pool_pages = static_cast<uint32_t>(64 + rng.UniformBelow(4096));
+    return t;
+  }
+};
+
+TEST_P(CostModelPropertyTest, IndexScanCostMonotoneInSelectivity) {
+  QdttModel m = RandomModel();
+  CostModel cm(m, CostConstants{}, true);
+  TableProfile t = RandomProfile();
+  for (int dop : {1, 8}) {
+    double prev = 0.0;
+    for (double sel = 1e-5; sel <= 1.0; sel *= 3.0) {
+      double cost = cm.CostIndexScan(t, sel, dop, 0).total_us;
+      EXPECT_GE(cost, prev * 0.999) << "sel=" << sel << " dop=" << dop;
+      prev = cost;
+    }
+  }
+}
+
+TEST_P(CostModelPropertyTest, DeeperQueuesNeverRaiseEstimatedIo) {
+  QdttModel m = RandomModel();
+  CostModel cm(m, CostConstants{}, true);
+  TableProfile t = RandomProfile();
+  double prev_io = 1e300;
+  for (int dop : {1, 2, 4, 8, 16, 32}) {
+    double io = cm.CostIndexScan(t, 0.01, dop, 0).io_us;
+    EXPECT_LE(io, prev_io * 1.0001) << "dop=" << dop;
+    prev_io = io;
+  }
+}
+
+TEST_P(CostModelPropertyTest, DttModeIsQueueDepthInvariant) {
+  QdttModel m = RandomModel();
+  CostModel dtt(m, CostConstants{}, false);
+  TableProfile t = RandomProfile();
+  const double io1 = dtt.CostIndexScan(t, 0.02, 1, 0).io_us;
+  for (int dop : {2, 8, 32}) {
+    EXPECT_DOUBLE_EQ(dtt.CostIndexScan(t, 0.02, dop, 0).io_us, io1);
+    EXPECT_DOUBLE_EQ(dtt.CostFullTableScan(t, dop).io_us,
+                     dtt.CostFullTableScan(t, 1).io_us);
+  }
+}
+
+TEST_P(CostModelPropertyTest, SortedScanNeverEstimatesMoreFetchesThanPlain) {
+  QdttModel m = RandomModel();
+  CostModel cm(m, CostConstants{}, true);
+  TableProfile t = RandomProfile();
+  for (double sel : {0.001, 0.05, 0.5, 1.0}) {
+    // SIS reads distinct pages; IS reads distinct + re-fetches. With equal
+    // queue depth their io estimates must reflect that ordering (up to the
+    // small index-side difference of one extra descent in IS).
+    auto is = cm.CostIndexScan(t, sel, 8, 0);
+    auto sis = cm.CostSortedIndexScan(t, sel, 8, 0);
+    EXPECT_LE(sis.io_us, is.io_us * 1.02) << "sel=" << sel;
+  }
+}
+
+TEST_P(CostModelPropertyTest, ConcurrencyNeverLowersEstimatedCost) {
+  QdttModel m = RandomModel();
+  TableProfile t = RandomProfile();
+  double prev = 0.0;
+  for (int streams : {1, 2, 4, 8}) {
+    CostModel cm(m, CostConstants{}, true, streams);
+    double cost = cm.CostIndexScan(t, 0.01, 16, 0).total_us;
+    EXPECT_GE(cost, prev * 0.999) << "streams=" << streams;
+    prev = cost;
+  }
+}
+
+TEST_P(CostModelPropertyTest, CachedFractionInterpolatesIoLinearly) {
+  QdttModel m = RandomModel();
+  CostModel cm(m, CostConstants{}, true);
+  TableProfile cold = RandomProfile();
+  TableProfile half = cold;
+  half.cached_fraction = 0.5;
+  TableProfile hot = cold;
+  hot.cached_fraction = 1.0;
+  double io_cold = cm.CostFullTableScan(cold, 4).io_us;
+  double io_half = cm.CostFullTableScan(half, 4).io_us;
+  double io_hot = cm.CostFullTableScan(hot, 4).io_us;
+  EXPECT_NEAR(io_half, io_cold / 2.0, io_cold * 1e-9);
+  EXPECT_NEAR(io_hot, 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CostModelPropertyTest,
+                         ::testing::Values(ModelCase{1, true},
+                                           ModelCase{2, true},
+                                           ModelCase{3, true},
+                                           ModelCase{4, false},
+                                           ModelCase{5, false},
+                                           ModelCase{6, true},
+                                           ModelCase{7, false},
+                                           ModelCase{8, true}),
+                         CaseName);
+
+}  // namespace
+}  // namespace pioqo::core

@@ -1,0 +1,96 @@
+#include "io/raid_device.h"
+
+#include <gtest/gtest.h>
+
+#include "device_test_util.h"
+#include "io/device_factory.h"
+#include "sim/simulator.h"
+
+namespace pioqo::io {
+namespace {
+
+using testing::MeasureRandomReadThroughput;
+using testing::MeasureSequentialReadThroughput;
+
+class RaidDeviceTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  RaidDevice raid_{sim_, 8, HddGeometry::Enterprise15000()};
+};
+
+TEST_F(RaidDeviceTest, CapacityIsSumOfMembers) {
+  EXPECT_EQ(raid_.capacity_bytes(),
+            8 * HddGeometry::Enterprise15000().capacity_bytes);
+}
+
+TEST_F(RaidDeviceTest, SingleReadCompletes) {
+  bool done = false;
+  raid_.Submit(IoRequest{IoRequest::Kind::kRead, 12345, 4096},
+               [&] { done = true; });
+  sim_.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(RaidDeviceTest, CrossChunkReadSplitsAndJoins) {
+  // A read spanning a 64 KiB chunk boundary produces exactly one completion.
+  int completions = 0;
+  raid_.Submit(IoRequest{IoRequest::Kind::kRead, 64 * 1024 - 2048, 4096},
+               [&] { ++completions; });
+  sim_.Run();
+  EXPECT_EQ(completions, 1);
+  // Both neighbouring members saw a piece.
+  EXPECT_EQ(raid_.member(0).stats().reads() + raid_.member(1).stats().reads(),
+            2u);
+}
+
+TEST_F(RaidDeviceTest, RandomThroughputScalesWithSpindles) {
+  double qd1 = MeasureRandomReadThroughput(sim_, raid_, 1, 300, 4096,
+                                           raid_.capacity_bytes(), 1);
+  double qd8 = MeasureRandomReadThroughput(sim_, raid_, 8, 80, 4096,
+                                           raid_.capacity_bytes(), 2);
+  // Fig. 12 regime: an 8-spindle array keeps improving with queue depth;
+  // at QD8 most requests land on distinct spindles.
+  EXPECT_GT(qd8, qd1 * 3.0);
+  EXPECT_LT(qd8, qd1 * 9.0);
+}
+
+TEST_F(RaidDeviceTest, Qd32StillBetterThanQd8) {
+  // Beyond one request per spindle, per-member NCQ keeps helping a little.
+  double qd8 = MeasureRandomReadThroughput(sim_, raid_, 8, 80, 4096,
+                                           raid_.capacity_bytes(), 3);
+  double qd32 = MeasureRandomReadThroughput(sim_, raid_, 32, 25, 4096,
+                                            raid_.capacity_bytes(), 4);
+  EXPECT_GT(qd32, qd8 * 1.1);
+}
+
+TEST_F(RaidDeviceTest, SequentialStreamsAcrossMembers) {
+  double mbps = MeasureSequentialReadThroughput(sim_, raid_, 256ull << 20,
+                                                1024 * 1024, 8);
+  // 8 members at 160 MB/s media rate each.
+  EXPECT_GT(mbps, 500.0);
+  EXPECT_LT(mbps, 8 * 160.0 + 1);
+}
+
+TEST(DeviceFactoryTest, MakesAllKinds) {
+  sim::Simulator sim;
+  for (auto kind : {DeviceKind::kHdd7200, DeviceKind::kSsdConsumer,
+                    DeviceKind::kRaid8}) {
+    auto device = MakeDevice(sim, kind);
+    ASSERT_NE(device, nullptr);
+    EXPECT_GT(device->capacity_bytes(), 0u);
+    EXPECT_FALSE(device->name().empty());
+  }
+}
+
+TEST(DeviceFactoryTest, ParseRoundTrips) {
+  for (auto kind : {DeviceKind::kHdd7200, DeviceKind::kSsdConsumer,
+                    DeviceKind::kRaid8}) {
+    auto parsed = ParseDeviceKind(DeviceKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseDeviceKind("floppy").ok());
+}
+
+}  // namespace
+}  // namespace pioqo::io

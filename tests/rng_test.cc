@@ -1,0 +1,105 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace pioqo {
+namespace {
+
+TEST(Pcg32Test, DeterministicForSameSeed) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU32(), b.NextU32());
+}
+
+TEST(Pcg32Test, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextU32() != b.NextU32()) ++differing;
+  }
+  EXPECT_GT(differing, 24);
+}
+
+TEST(Pcg32Test, DoubleInUnitInterval) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Pcg32Test, UniformIntWithinBounds) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Pcg32Test, UniformIntCoversRange) {
+  Pcg32 rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Pcg32Test, UniformBelowRoughlyUniform) {
+  Pcg32 rng(13);
+  const int kBuckets = 8;
+  const int kDraws = 80000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.UniformBelow(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Pcg32Test, ShufflePreservesElements) {
+  Pcg32 rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(SampleWithoutReplacementTest, DistinctAndInRange) {
+  Pcg32 rng(21);
+  auto sample = SampleWithoutReplacement(1000, 200, rng);
+  ASSERT_EQ(sample.size(), 200u);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 200u);
+  for (uint64_t v : sample) EXPECT_LT(v, 1000u);
+}
+
+TEST(SampleWithoutReplacementTest, FullPermutation) {
+  Pcg32 rng(23);
+  auto sample = SampleWithoutReplacement(64, 64, rng);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 64u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 63u);
+}
+
+TEST(SampleWithoutReplacementTest, HugeDomainIsCheap) {
+  Pcg32 rng(25);
+  // 2^40 domain; must not allocate O(n).
+  auto sample = SampleWithoutReplacement(1ULL << 40, 1000, rng);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 1000u);
+}
+
+TEST(SampleWithoutReplacementTest, NotSorted) {
+  // The calibration relies on the sequence being in *random order*, not
+  // ascending (a sorted order would turn random I/O into an elevator sweep).
+  Pcg32 rng(27);
+  auto sample = SampleWithoutReplacement(10000, 1000, rng);
+  EXPECT_FALSE(std::is_sorted(sample.begin(), sample.end()));
+}
+
+}  // namespace
+}  // namespace pioqo

@@ -1,0 +1,124 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/task.h"
+
+namespace pioqo::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.Now(), 0.0);
+  EXPECT_EQ(sim.num_pending(), 0u);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30.0, [&] { order.push_back(3); });
+  sim.ScheduleAt(10.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(20.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 30.0);
+}
+
+TEST(SimulatorTest, TiesFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.ScheduleAt(7.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, EventsMayScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) sim.ScheduleAfter(5.0, chain);
+  };
+  sim.ScheduleAfter(5.0, chain);
+  sim.Run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(sim.Now(), 50.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(10.0, [&] { ++fired; });
+  sim.ScheduleAt(20.0, [&] { ++fired; });
+  sim.RunUntil(15.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.Now(), 15.0);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, PastTimeClampedToNow) {
+  Simulator sim;
+  sim.ScheduleAt(10.0, [] {});
+  sim.Run();
+  double fired_at = -1.0;
+  sim.ScheduleAt(5.0, [&] { fired_at = sim.Now(); });  // in the past
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 10.0);
+}
+
+TEST(SimulatorTest, StepExecutesOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1.0, [&] { ++fired; });
+  sim.ScheduleAt(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(sim.num_executed(), 2u);
+}
+
+Task CountingCoroutine(Simulator& sim, std::vector<double>& times, int hops) {
+  for (int i = 0; i < hops; ++i) {
+    co_await Delay(sim, 10.0);
+    times.push_back(sim.Now());
+  }
+}
+
+TEST(TaskTest, DelayAdvancesClock) {
+  Simulator sim;
+  std::vector<double> times;
+  CountingCoroutine(sim, times, 3);
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<double>{10.0, 20.0, 30.0}));
+}
+
+TEST(TaskTest, ZeroDelayYields) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(0.0, [&] { order.push_back(1); });
+  [](Simulator& s, std::vector<int>& o) -> Task {
+    o.push_back(0);  // coroutines start eagerly
+    co_await Delay(s, 0.0);
+    o.push_back(2);  // but a zero delay yields to already-queued events
+  }(sim, order);
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TaskTest, ManyConcurrentCoroutines) {
+  Simulator sim;
+  std::vector<double> times;
+  for (int i = 0; i < 100; ++i) CountingCoroutine(sim, times, 2);
+  sim.Run();
+  EXPECT_EQ(times.size(), 200u);
+  EXPECT_DOUBLE_EQ(sim.Now(), 20.0);
+}
+
+}  // namespace
+}  // namespace pioqo::sim

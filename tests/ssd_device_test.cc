@@ -1,0 +1,129 @@
+#include "io/ssd_device.h"
+
+#include <gtest/gtest.h>
+
+#include "device_test_util.h"
+#include "sim/simulator.h"
+
+namespace pioqo::io {
+namespace {
+
+using testing::MeasureRandomReadThroughput;
+using testing::MeasureSequentialReadThroughput;
+
+class SsdDeviceTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  SsdDevice ssd_{sim_, SsdGeometry::ConsumerPcie()};
+};
+
+TEST_F(SsdDeviceTest, SingleReadCompletes) {
+  bool done = false;
+  ssd_.Submit(IoRequest{IoRequest::Kind::kRead, 0, 4096}, [&] { done = true; });
+  sim_.Run();
+  EXPECT_TRUE(done);
+  // One 4KB read: flash read + bus + overhead, well under a millisecond.
+  EXPECT_GT(sim_.Now(), 100.0);
+  EXPECT_LT(sim_.Now(), 400.0);
+}
+
+TEST_F(SsdDeviceTest, SequentialNearInterfaceBandwidth) {
+  double mbps = MeasureSequentialReadThroughput(sim_, ssd_, 512ull << 20,
+                                                256 * 1024, /*window=*/8);
+  // Paper's drive: ~1.5 GB/s advertised sequential read.
+  EXPECT_GT(mbps, 1100.0);
+  EXPECT_LE(mbps, 1501.0);
+}
+
+TEST_F(SsdDeviceTest, RandomThroughputScalesWithQueueDepth) {
+  double prev = 0.0;
+  for (int qd : {1, 2, 4, 8, 16, 32}) {
+    double mbps = MeasureRandomReadThroughput(sim_, ssd_, qd, 2000 / qd + 50,
+                                              4096, ssd_.capacity_bytes(),
+                                              static_cast<uint64_t>(qd));
+    EXPECT_GT(mbps, prev * 1.5) << "qd=" << qd;
+    prev = mbps;
+  }
+}
+
+TEST_F(SsdDeviceTest, RandomQd32ReachesHalfOfSequential) {
+  double seq = MeasureSequentialReadThroughput(sim_, ssd_, 512ull << 20,
+                                               256 * 1024, 8);
+  sim::Simulator sim2;
+  SsdDevice ssd2(sim2, SsdGeometry::ConsumerPcie());
+  double rnd32 = MeasureRandomReadThroughput(sim2, ssd2, 32, 120, 4096,
+                                             ssd2.capacity_bytes(), 7);
+  // Fig. 1: at QD32 random reads reach ~51.7% of sequential throughput.
+  double ratio = rnd32 / seq;
+  EXPECT_GT(ratio, 0.40);
+  EXPECT_LT(ratio, 0.70);
+}
+
+TEST_F(SsdDeviceTest, NoBenefitBeyondNcqSlots) {
+  double qd32 = MeasureRandomReadThroughput(sim_, ssd_, 32, 120, 4096,
+                                            ssd_.capacity_bytes(), 11);
+  double qd64 = MeasureRandomReadThroughput(sim_, ssd_, 64, 60, 4096,
+                                            ssd_.capacity_bytes(), 12);
+  // "The maximum beneficial parallel degree of our SSD is 32."
+  EXPECT_LT(qd64, qd32 * 1.15);
+}
+
+TEST_F(SsdDeviceTest, BandSizeHasMildEffect) {
+  // Sec. 4.2: band size still matters on SSD (FTL map locality), though far
+  // less than on HDD.
+  double small_band = MeasureRandomReadThroughput(sim_, ssd_, 1, 1000, 4096,
+                                                  256ull << 20, 13);
+  double large_band = MeasureRandomReadThroughput(sim_, ssd_, 1, 1000, 4096,
+                                                  ssd_.capacity_bytes(), 14);
+  EXPECT_GT(small_band, large_band * 1.05);
+  EXPECT_LT(small_band, large_band * 2.0);
+}
+
+TEST_F(SsdDeviceTest, FtlCacheHitsWithinSmallBand) {
+  (void)MeasureRandomReadThroughput(sim_, ssd_, 1, 2000, 4096, 64ull << 20, 15);
+  EXPECT_GT(ssd_.FtlHitRatio(), 0.9);
+}
+
+TEST_F(SsdDeviceTest, LargeReadSplitsAcrossUnitsAndFinishesFast) {
+  // A 128 KiB read spans 32 units; parallel flash reads mean the whole
+  // request takes roughly one unit read + bus transfers, not 32 serial reads.
+  bool done = false;
+  sim::SimTime start = sim_.Now();
+  ssd_.Submit(IoRequest{IoRequest::Kind::kRead, 0, 128 * 1024},
+              [&] { done = true; });
+  sim_.Run();
+  EXPECT_TRUE(done);
+  double elapsed = sim_.Now() - start;
+  const auto& g = ssd_.geometry();
+  double serial_estimate = 32.0 * g.unit_read_us;
+  EXPECT_LT(elapsed, serial_estimate * 0.25);
+}
+
+TEST_F(SsdDeviceTest, WritesSlowerThanReads) {
+  sim::Simulator sim_w;
+  SsdDevice ssd_w(sim_w, SsdGeometry::ConsumerPcie());
+  ssd_w.Submit(IoRequest{IoRequest::Kind::kWrite, 0, 4096}, [] {});
+  double write_time = sim_w.Run();
+
+  sim::Simulator sim_r;
+  SsdDevice ssd_r(sim_r, SsdGeometry::ConsumerPcie());
+  ssd_r.Submit(IoRequest{IoRequest::Kind::kRead, 0, 4096}, [] {});
+  double read_time = sim_r.Run();
+
+  EXPECT_GT(write_time, read_time * 1.5);
+}
+
+TEST_F(SsdDeviceTest, CompletionsAreOnePerRequest) {
+  int completions = 0;
+  for (int i = 0; i < 100; ++i) {
+    ssd_.Submit(IoRequest{IoRequest::Kind::kRead,
+                          static_cast<uint64_t>(i) * 4096, 4096},
+                [&] { ++completions; });
+  }
+  sim_.Run();
+  EXPECT_EQ(completions, 100);
+  EXPECT_EQ(ssd_.stats().outstanding(), 0);
+}
+
+}  // namespace
+}  // namespace pioqo::io

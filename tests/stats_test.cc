@@ -1,0 +1,75 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace pioqo {
+namespace {
+
+TEST(RunningStatTest, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, KnownValues) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, SingleValueZeroVariance) {
+  RunningStat s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+}
+
+TEST(TimeWeightedAverageTest, ConstantSignal) {
+  TimeWeightedAverage twa;
+  twa.Update(0.0, 4);
+  EXPECT_NEAR(twa.Average(10.0), 4.0, 1e-12);
+}
+
+TEST(TimeWeightedAverageTest, StepSignal) {
+  TimeWeightedAverage twa;
+  twa.Update(0.0, 0);   // 0 from t=0..5
+  twa.Update(5.0, 10);  // 10 from t=5..10
+  EXPECT_NEAR(twa.Average(10.0), 5.0, 1e-12);
+}
+
+TEST(TimeWeightedAverageTest, QueueDepthScenario) {
+  // Two overlapping I/Os: depth 1 for [0,2), 2 for [2,4), 1 for [4,6), 0 after.
+  TimeWeightedAverage twa;
+  twa.Update(0.0, 1);
+  twa.Update(2.0, 2);
+  twa.Update(4.0, 1);
+  twa.Update(6.0, 0);
+  EXPECT_NEAR(twa.Average(6.0), (2 * 1 + 2 * 2 + 2 * 1) / 6.0, 1e-12);
+}
+
+TEST(TimeWeightedAverageTest, BeforeAnyUpdateIsZero) {
+  TimeWeightedAverage twa;
+  EXPECT_DOUBLE_EQ(twa.Average(5.0), 0.0);
+}
+
+TEST(LerpClampedTest, Interpolates) {
+  EXPECT_DOUBLE_EQ(LerpClamped(5.0, 0.0, 10.0, 10.0, 20.0), 15.0);
+}
+
+TEST(LerpClampedTest, ClampsBelowAndAbove) {
+  EXPECT_DOUBLE_EQ(LerpClamped(-1.0, 0.0, 10.0, 10.0, 20.0), 10.0);
+  EXPECT_DOUBLE_EQ(LerpClamped(11.0, 0.0, 10.0, 10.0, 20.0), 20.0);
+}
+
+TEST(LerpClampedTest, DegenerateInterval) {
+  EXPECT_DOUBLE_EQ(LerpClamped(3.0, 2.0, 7.0, 2.0, 9.0), 7.0);
+}
+
+}  // namespace
+}  // namespace pioqo

@@ -1,0 +1,91 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace pioqo {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad band size");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad band size");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad band size");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnimplemented); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, OkStatusRejected) {
+  StatusOr<int> v = Status::OK();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> p = std::move(v).value();
+  EXPECT_EQ(*p, 7);
+}
+
+Status ReturnIfErrorHelper(bool fail) {
+  PIOQO_RETURN_IF_ERROR(fail ? Status::IoError("disk gone") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, ReturnIfError) {
+  EXPECT_TRUE(ReturnIfErrorHelper(false).ok());
+  EXPECT_EQ(ReturnIfErrorHelper(true).code(), StatusCode::kIoError);
+}
+
+StatusOr<int> MaybeValue(bool fail) {
+  if (fail) return Status::OutOfRange("nope");
+  return 5;
+}
+
+Status AssignOrReturnHelper(bool fail, int* out) {
+  PIOQO_ASSIGN_OR_RETURN(int v, MaybeValue(fail));
+  *out = v + 1;
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, AssignOrReturn) {
+  int out = 0;
+  EXPECT_TRUE(AssignOrReturnHelper(false, &out).ok());
+  EXPECT_EQ(out, 6);
+  EXPECT_EQ(AssignOrReturnHelper(true, &out).code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace pioqo
