@@ -7,6 +7,7 @@
 
 #include "io/device_stats.h"
 #include "io/io_request.h"
+#include "sim/sim_checks.h"
 #include "sim/simulator.h"
 
 namespace pioqo::io {
@@ -56,7 +57,14 @@ class Device {
     IoAwaiter(Device& device, IoRequest req) : device_(device), req_(req) {}
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      device_.Submit(req_, [h] { h.resume(); });
+      // The resume is "scheduled" for the simulated completion instant; the
+      // invariant checker flags the coroutine if it is destroyed while the
+      // I/O is still in flight.
+      sim::checks::OnResumeScheduled(h.address());
+      device_.Submit(req_, [h] {
+        sim::checks::OnBeforeResume(h.address());
+        h.resume();
+      });
     }
     void await_resume() const noexcept {}
 

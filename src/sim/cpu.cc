@@ -20,7 +20,18 @@ void CpuScheduler::Enqueue(std::coroutine_handle<> h, double duration) {
   if (free_cores_ > 0) {
     StartBurst(h, duration);
   } else {
+    checks::OnWaiterRegistered(h.address());
     waiters_.push_back(Waiter{h, duration});
+  }
+}
+
+void CpuScheduler::CancelWait(std::coroutine_handle<> h) {
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    if (it->handle == h) {
+      waiters_.erase(it);
+      checks::OnWaiterUnregistered(h.address());
+      return;
+    }
   }
 }
 
@@ -34,6 +45,7 @@ void CpuScheduler::StartBurst(std::coroutine_handle<> h, double duration) {
   }
   busy_time_ += duration;
   ++num_bursts_;
+  checks::OnResumeScheduled(h.address());
   sim_.ScheduleAfter(duration, [this, h] { FinishBurst(h); });
 }
 
@@ -42,10 +54,12 @@ void CpuScheduler::FinishBurst(std::coroutine_handle<> h) {
   if (!waiters_.empty()) {
     Waiter next = waiters_.front();
     waiters_.pop_front();
+    checks::OnWaiterUnregistered(next.handle.address());
     StartBurst(next.handle, next.duration);
   }
   // Resume after handing the core to the next waiter so a worker that
   // immediately requests another burst queues behind already-waiting peers.
+  checks::OnBeforeResume(h.address());
   h.resume();
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "sim/sim_checks.h"
 #include "sim/simulator.h"
 
 namespace pioqo::sim {
@@ -37,13 +38,27 @@ class CpuScheduler {
    public:
     ConsumeAwaiter(CpuScheduler& cpu, double duration)
         : cpu_(cpu), duration_(duration) {}
+    ConsumeAwaiter(const ConsumeAwaiter&) = delete;
+    ConsumeAwaiter& operator=(const ConsumeAwaiter&) = delete;
+    /// Removes the handle from the ready queue if the owning coroutine is
+    /// destroyed while still waiting for a core (see sim/sync.h for the
+    /// waiter-lifetime rules).
+    ~ConsumeAwaiter() {
+      if (suspended_) cpu_.CancelWait(handle_);
+    }
     bool await_ready() const noexcept { return duration_ <= 0.0; }
-    void await_suspend(std::coroutine_handle<> h) { cpu_.Enqueue(h, duration_); }
-    void await_resume() const noexcept {}
+    void await_suspend(std::coroutine_handle<> h) {
+      suspended_ = true;
+      handle_ = h;
+      cpu_.Enqueue(h, duration_);
+    }
+    void await_resume() noexcept { suspended_ = false; }
 
    private:
     CpuScheduler& cpu_;
     double duration_;
+    std::coroutine_handle<> handle_;
+    bool suspended_ = false;
   };
 
   /// Awaitable CPU burst of `duration` microseconds on one core.
@@ -67,6 +82,7 @@ class CpuScheduler {
   };
 
   void Enqueue(std::coroutine_handle<> h, double duration);
+  void CancelWait(std::coroutine_handle<> h);
   void StartBurst(std::coroutine_handle<> h, double duration);
   void FinishBurst(std::coroutine_handle<> h);
 

@@ -1,19 +1,45 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "common/logging.h"
+#include "sim/sim_checks.h"
 
 namespace pioqo::sim {
+namespace {
+
+/// Splitmix64-style mixer: order-sensitive, cheap (a few ALU ops per event).
+uint64_t MixHash(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdULL;
+  return h ^ (h >> 33);
+}
+
+}  // namespace
+
+Simulator::~Simulator() {
+  // Events still pending at teardown usually mean a scenario was abandoned
+  // mid-flight (fine after RunUntil) — but with the invariant checker on,
+  // surface it: a pending resume of a coroutine that outlives this
+  // simulator is a latent dangling-handle bug.
+  if (checks::Enabled() && !queue_.empty()) {
+    PIOQO_LOG_WARNING << "Simulator destroyed with " << queue_.size()
+                      << " pending event(s); any coroutine resume among them "
+                         "is now unreachable (suspended workers leak)";
+  }
+}
 
 void Simulator::ScheduleAt(SimTime t, Callback cb) {
   PIOQO_CHECK(cb != nullptr);
+  PIOQO_CHECK(!std::isnan(t)) << "event scheduled at NaN time";
   queue_.push(Event{std::max(t, now_), next_seq_++, std::move(cb)});
 }
 
 void Simulator::ScheduleAfter(double delay, Callback cb) {
-  PIOQO_CHECK(delay >= 0.0) << "negative delay " << delay;
+  PIOQO_CHECK(delay >= 0.0) << "negative or NaN delay " << delay;
   ScheduleAt(now_ + delay, std::move(cb));
 }
 
@@ -26,6 +52,11 @@ bool Simulator::Step() {
   queue_.pop();
   now_ = ev.time;
   ++executed_;
+  uint64_t time_bits = 0;
+  static_assert(sizeof(time_bits) == sizeof(ev.time));
+  std::memcpy(&time_bits, &ev.time, sizeof(time_bits));
+  trace_hash_ = MixHash(trace_hash_, time_bits);
+  trace_hash_ = MixHash(trace_hash_, ev.seq);
   ev.cb();
   return true;
 }

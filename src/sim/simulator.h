@@ -25,6 +25,7 @@ class Simulator {
   using Callback = std::function<void()>;
 
   Simulator() = default;
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -49,6 +50,13 @@ class Simulator {
   size_t num_pending() const { return queue_.size(); }
   uint64_t num_executed() const { return executed_; }
 
+  /// Order-sensitive hash over every executed event's (time, seq) pair.
+  /// Two runs of the same scenario are bit-identical iff they executed the
+  /// same events in the same order at the same instants — so equal hashes
+  /// across same-seed runs are the replay-determinism proof used by
+  /// tests/replay_determinism_test.cc.
+  uint64_t trace_hash() const { return trace_hash_; }
+
  private:
   struct Event {
     SimTime time;
@@ -66,6 +74,7 @@ class Simulator {
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
+  uint64_t trace_hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis
 };
 
 }  // namespace pioqo::sim

@@ -1,6 +1,7 @@
 #ifndef PIOQO_SIM_SYNC_H_
 #define PIOQO_SIM_SYNC_H_
 
+#include <algorithm>
 #include <coroutine>
 #include <cstdint>
 #include <deque>
@@ -8,9 +9,23 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "sim/sim_checks.h"
 #include "sim/simulator.h"
 
 namespace pioqo::sim {
+
+/// Shared waiter-lifetime rules for every primitive in this header:
+///
+///  - An awaiter that parked its coroutine in a primitive's waiter list
+///    removes itself again in its destructor. The awaiter lives in the
+///    coroutine frame, so destroying a suspended coroutine runs the awaiter
+///    destructor first — a destroyed coroutine can therefore never leave a
+///    dangling handle (or `PopAwaiter*`) behind in a waiter list.
+///  - A primitive must outlive its waiters: each destructor checks that the
+///    waiter list is empty and aborts otherwise, because waking (or even
+///    unregistering from) a destroyed primitive is use-after-free.
+///  - All wakeups go through `ScheduleResume`, so the PIOQO_SIM_CHECKS
+///    invariant layer validates every resume (see sim/sim_checks.h).
 
 /// A one-shot countdown latch for joining a team of simulated workers.
 ///
@@ -22,6 +37,10 @@ class Latch {
   Latch(Simulator& sim, int64_t count) : sim_(sim), count_(count) {
     PIOQO_CHECK(count >= 0);
   }
+  ~Latch() {
+    PIOQO_CHECK(waiters_.empty())
+        << "Latch destroyed with " << waiters_.size() << " suspended waiter(s)";
+  }
   Latch(const Latch&) = delete;
   Latch& operator=(const Latch&) = delete;
 
@@ -29,7 +48,8 @@ class Latch {
     PIOQO_CHECK(count_ > 0) << "latch counted down below zero";
     if (--count_ == 0) {
       for (auto h : waiters_) {
-        sim_.ScheduleAfter(0.0, [h] { h.resume(); });
+        checks::OnWaiterUnregistered(h.address());
+        ScheduleResume(sim_, 0.0, h);
       }
       waiters_.clear();
     }
@@ -41,14 +61,30 @@ class Latch {
   class Waiter {
    public:
     explicit Waiter(Latch& latch) : latch_(latch) {}
+    Waiter(const Waiter&) = delete;
+    Waiter& operator=(const Waiter&) = delete;
+    ~Waiter() {
+      if (!suspended_) return;
+      auto& w = latch_.waiters_;
+      auto it = std::find(w.begin(), w.end(), handle_);
+      if (it != w.end()) {
+        w.erase(it);
+        checks::OnWaiterUnregistered(handle_.address());
+      }
+    }
     bool await_ready() const noexcept { return latch_.count_ == 0; }
     void await_suspend(std::coroutine_handle<> h) {
+      suspended_ = true;
+      handle_ = h;
+      checks::OnWaiterRegistered(h.address());
       latch_.waiters_.push_back(h);
     }
-    void await_resume() const noexcept {}
+    void await_resume() noexcept { suspended_ = false; }
 
    private:
     Latch& latch_;
+    std::coroutine_handle<> handle_;
+    bool suspended_ = false;
   };
 
   Waiter Wait() { return Waiter(*this); }
@@ -65,13 +101,18 @@ class Latch {
 class Event {
  public:
   explicit Event(Simulator& sim) : sim_(sim) {}
+  ~Event() {
+    PIOQO_CHECK(waiters_.empty())
+        << "Event destroyed with " << waiters_.size() << " suspended waiter(s)";
+  }
   Event(const Event&) = delete;
   Event& operator=(const Event&) = delete;
 
   void Set() {
     set_ = true;
     for (auto h : waiters_) {
-      sim_.ScheduleAfter(0.0, [h] { h.resume(); });
+      checks::OnWaiterUnregistered(h.address());
+      ScheduleResume(sim_, 0.0, h);
     }
     waiters_.clear();
   }
@@ -82,14 +123,30 @@ class Event {
   class Waiter {
    public:
     explicit Waiter(Event& event) : event_(event) {}
+    Waiter(const Waiter&) = delete;
+    Waiter& operator=(const Waiter&) = delete;
+    ~Waiter() {
+      if (!suspended_) return;
+      auto& w = event_.waiters_;
+      auto it = std::find(w.begin(), w.end(), handle_);
+      if (it != w.end()) {
+        w.erase(it);
+        checks::OnWaiterUnregistered(handle_.address());
+      }
+    }
     bool await_ready() const noexcept { return event_.set_; }
     void await_suspend(std::coroutine_handle<> h) {
+      suspended_ = true;
+      handle_ = h;
+      checks::OnWaiterRegistered(h.address());
       event_.waiters_.push_back(h);
     }
-    void await_resume() const noexcept {}
+    void await_resume() noexcept { suspended_ = false; }
 
    private:
     Event& event_;
+    std::coroutine_handle<> handle_;
+    bool suspended_ = false;
   };
 
   Waiter Wait() { return Waiter(*this); }
@@ -107,12 +164,28 @@ class Semaphore {
   Semaphore(Simulator& sim, int64_t initial) : sim_(sim), count_(initial) {
     PIOQO_CHECK(initial >= 0);
   }
+  ~Semaphore() {
+    PIOQO_CHECK(waiters_.empty()) << "Semaphore destroyed with "
+                                  << waiters_.size()
+                                  << " suspended waiter(s)";
+  }
   Semaphore(const Semaphore&) = delete;
   Semaphore& operator=(const Semaphore&) = delete;
 
   class Acquire {
    public:
     explicit Acquire(Semaphore& sem) : sem_(sem) {}
+    Acquire(const Acquire&) = delete;
+    Acquire& operator=(const Acquire&) = delete;
+    ~Acquire() {
+      if (!suspended_) return;
+      auto& w = sem_.waiters_;
+      auto it = std::find(w.begin(), w.end(), handle_);
+      if (it != w.end()) {
+        w.erase(it);
+        checks::OnWaiterUnregistered(handle_.address());
+      }
+    }
     bool await_ready() noexcept {
       if (sem_.count_ > 0) {
         --sem_.count_;
@@ -121,12 +194,17 @@ class Semaphore {
       return false;
     }
     void await_suspend(std::coroutine_handle<> h) {
+      suspended_ = true;
+      handle_ = h;
+      checks::OnWaiterRegistered(h.address());
       sem_.waiters_.push_back(h);
     }
-    void await_resume() const noexcept {}
+    void await_resume() noexcept { suspended_ = false; }
 
    private:
     Semaphore& sem_;
+    std::coroutine_handle<> handle_;
+    bool suspended_ = false;
   };
 
   /// `co_await sem.WaitAcquire()` obtains one permit (FIFO).
@@ -139,7 +217,8 @@ class Semaphore {
     if (!waiters_.empty()) {
       auto h = waiters_.front();
       waiters_.pop_front();
-      sim_.ScheduleAfter(0.0, [h] { h.resume(); });
+      checks::OnWaiterUnregistered(h.address());
+      ScheduleResume(sim_, 0.0, h);
     } else {
       ++count_;
     }
@@ -163,6 +242,11 @@ template <typename T>
 class Channel {
  public:
   explicit Channel(Simulator& sim) : sim_(sim) {}
+  ~Channel() {
+    PIOQO_CHECK(waiters_.empty())
+        << "Channel destroyed with " << waiters_.size()
+        << " suspended consumer(s)";
+  }
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
@@ -175,7 +259,8 @@ class Channel {
       waiters_.pop_front();
       w->slot_ = std::move(item);
       auto h = w->handle_;
-      sim_.ScheduleAfter(0.0, [h] { h.resume(); });
+      checks::OnWaiterUnregistered(h.address());
+      ScheduleResume(sim_, 0.0, h);
       return;
     }
     items_.push_back(std::move(item));
@@ -186,7 +271,8 @@ class Channel {
     closed_ = true;
     for (PopAwaiter* w : waiters_) {
       auto h = w->handle_;
-      sim_.ScheduleAfter(0.0, [h] { h.resume(); });
+      checks::OnWaiterUnregistered(h.address());
+      ScheduleResume(sim_, 0.0, h);
     }
     waiters_.clear();
   }
@@ -194,14 +280,31 @@ class Channel {
   class PopAwaiter {
    public:
     explicit PopAwaiter(Channel& ch) : ch_(ch) {}
+    PopAwaiter(const PopAwaiter&) = delete;
+    PopAwaiter& operator=(const PopAwaiter&) = delete;
+    /// If the owning coroutine is destroyed while suspended in Pop(), this
+    /// runs during frame teardown and removes the (about to dangle)
+    /// `PopAwaiter*` from the channel's waiter list.
+    ~PopAwaiter() {
+      if (!suspended_) return;
+      auto& w = ch_.waiters_;
+      auto it = std::find(w.begin(), w.end(), this);
+      if (it != w.end()) {
+        w.erase(it);
+        checks::OnWaiterUnregistered(handle_.address());
+      }
+    }
     bool await_ready() const noexcept {
       return !ch_.items_.empty() || ch_.closed_;
     }
     void await_suspend(std::coroutine_handle<> h) {
+      suspended_ = true;
       handle_ = h;
+      checks::OnWaiterRegistered(h.address());
       ch_.waiters_.push_back(this);
     }
     std::optional<T> await_resume() {
+      suspended_ = false;
       if (slot_.has_value()) return std::move(slot_);
       if (!ch_.items_.empty()) {
         T item = std::move(ch_.items_.front());
@@ -217,6 +320,7 @@ class Channel {
     Channel& ch_;
     std::coroutine_handle<> handle_;
     std::optional<T> slot_;
+    bool suspended_ = false;
   };
 
   PopAwaiter Pop() { return PopAwaiter(*this); }

@@ -4,6 +4,7 @@
 #include <coroutine>
 #include <cstdlib>
 
+#include "sim/sim_checks.h"
 #include "sim/simulator.h"
 
 namespace pioqo::sim {
@@ -18,11 +19,24 @@ namespace pioqo::sim {
 /// awaiting the Task — this keeps ownership trivially correct with a
 /// single-threaded event loop.
 ///
+/// Under PIOQO_SIM_CHECKS every Task frame is registered with the invariant
+/// checker for its whole lifetime, which is what lets the checker catch
+/// double resumes, resumes of destroyed frames, and workers still suspended
+/// at quiescence (see sim/sim_checks.h).
+///
 /// Exceptions escaping a simulated activity indicate a programming error and
 /// terminate the process.
 struct Task {
   struct promise_type {
-    Task get_return_object() noexcept { return {}; }
+    Task get_return_object() noexcept {
+      checks::OnFrameCreated(
+          std::coroutine_handle<promise_type>::from_promise(*this).address());
+      return {};
+    }
+    ~promise_type() {
+      checks::OnFrameDestroyed(
+          std::coroutine_handle<promise_type>::from_promise(*this).address());
+    }
     std::suspend_never initial_suspend() noexcept { return {}; }
     std::suspend_never final_suspend() noexcept { return {}; }
     void return_void() noexcept {}
@@ -39,7 +53,7 @@ class Delay {
 
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) {
-    sim_.ScheduleAfter(duration_, [h] { h.resume(); });
+    ScheduleResume(sim_, duration_, h);
   }
   void await_resume() const noexcept {}
 

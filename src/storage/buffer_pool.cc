@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "sim/sim_checks.h"
 
 namespace pioqo::storage {
 
@@ -39,6 +40,7 @@ void BufferPool::FetchAwaiter::await_suspend(std::coroutine_handle<> h) {
     ++pool_.stats_.joined_inflight;
   }
   PIOQO_CHECK(it->second.state == FrameState::kLoading);
+  sim::checks::OnWaiterRegistered(h.address());
   it->second.waiters.push_back(h);
   // Pin at suspend time: a waiter resumed earlier could otherwise evict the
   // page (via its own fetches) before this waiter runs.
@@ -163,7 +165,11 @@ void BufferPool::OnReadComplete(PageId first, uint32_t count) {
     if (f.pin_count == 0) AddToLru(f);  // waiters already hold pins
     std::vector<std::coroutine_handle<>> waiters;
     waiters.swap(f.waiters);
-    for (auto h : waiters) h.resume();
+    for (auto h : waiters) {
+      sim::checks::OnWaiterUnregistered(h.address());
+      sim::checks::OnBeforeResume(h.address());
+      h.resume();
+    }
   }
 }
 

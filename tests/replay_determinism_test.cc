@@ -1,0 +1,138 @@
+// Replay-determinism proof: running the same seeded scenario twice must
+// produce bit-identical event traces (Simulator::trace_hash covers every
+// executed event's time and sequence number) and bit-identical result
+// stats, for each of the paper's three device types. This is what makes the
+// QDTT calibration and every figure in EXPERIMENTS.md reproducible.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+
+namespace pioqo {
+namespace {
+
+struct Fingerprint {
+  uint64_t trace_hash = 0;
+  uint64_t events_executed = 0;
+  double final_time = 0.0;
+  exec::ScanResult is;
+  exec::ScanResult fts;
+  exec::ScanResult pis;
+};
+
+/// A fig04_breakeven-style scenario: one seeded table, flush the pool, run
+/// the paper's query Q under IS, FTS and PIS (dop 8) at a fixed
+/// selectivity, and fingerprint the simulation.
+Fingerprint RunScenario(io::DeviceKind kind) {
+  db::DatabaseOptions opts;
+  opts.device = kind;
+  opts.pool_pages = 512;
+  db::Database db(opts);
+
+  storage::DatasetConfig cfg;
+  cfg.name = "t";
+  cfg.num_rows = 30000;
+  cfg.rows_per_page = 33;
+  cfg.c2_domain = 1 << 24;
+  cfg.seed = 42;
+  EXPECT_TRUE(db.CreateTable(cfg).ok());
+
+  const exec::RangePredicate pred{
+      0, storage::C2UpperBoundForSelectivity(cfg.c2_domain, 0.02)};
+
+  Fingerprint fp;
+  auto is = db.ExecuteScan("t", pred, core::AccessMethod::kIs, 1, 0,
+                           /*flush_pool=*/true);
+  EXPECT_TRUE(is.ok());
+  fp.is = *is;
+  auto fts = db.ExecuteScan("t", pred, core::AccessMethod::kFts, 1, 32,
+                            /*flush_pool=*/true);
+  EXPECT_TRUE(fts.ok());
+  fp.fts = *fts;
+  auto pis = db.ExecuteScan("t", pred, core::AccessMethod::kPis, 8, 4,
+                            /*flush_pool=*/true);
+  EXPECT_TRUE(pis.ok());
+  fp.pis = *pis;
+
+  fp.trace_hash = db.simulator().trace_hash();
+  fp.events_executed = db.simulator().num_executed();
+  fp.final_time = db.simulator().Now();
+  return fp;
+}
+
+void ExpectIdenticalScan(const exec::ScanResult& a, const exec::ScanResult& b,
+                         const char* method) {
+  SCOPED_TRACE(method);
+  EXPECT_EQ(a.max_c1, b.max_c1);
+  EXPECT_EQ(a.rows_matched, b.rows_matched);
+  EXPECT_EQ(a.rows_examined, b.rows_examined);
+  // Bit-exact, not approximate: determinism means the doubles agree to the
+  // last ulp.
+  EXPECT_EQ(a.runtime_us, b.runtime_us);
+  EXPECT_EQ(a.device_reads, b.device_reads);
+  EXPECT_EQ(a.bytes_read, b.bytes_read);
+  EXPECT_EQ(a.avg_queue_depth, b.avg_queue_depth);
+  EXPECT_EQ(a.io_throughput_mbps, b.io_throughput_mbps);
+  EXPECT_EQ(a.pool_hits, b.pool_hits);
+  EXPECT_EQ(a.pool_misses, b.pool_misses);
+}
+
+class ReplayDeterminismTest
+    : public ::testing::TestWithParam<io::DeviceKind> {};
+
+TEST_P(ReplayDeterminismTest, SameSeedSameTrace) {
+  const Fingerprint first = RunScenario(GetParam());
+  const Fingerprint second = RunScenario(GetParam());
+
+  EXPECT_EQ(first.trace_hash, second.trace_hash)
+      << "event traces diverged across same-seed runs";
+  EXPECT_EQ(first.events_executed, second.events_executed);
+  EXPECT_EQ(first.final_time, second.final_time);
+  ExpectIdenticalScan(first.is, second.is, "IS");
+  ExpectIdenticalScan(first.fts, second.fts, "FTS");
+  ExpectIdenticalScan(first.pis, second.pis, "PIS8");
+
+  // Sanity: the scenario actually exercised the device and the hash moved
+  // off its initial value.
+  EXPECT_GT(first.events_executed, 0u);
+  EXPECT_GT(first.pis.device_reads, 0u);
+  EXPECT_NE(first.trace_hash, sim::Simulator().trace_hash());
+}
+
+TEST_P(ReplayDeterminismTest, DifferentSeedsDiverge) {
+  // Cross-check that the hash is actually sensitive to the workload: a
+  // different table seed must shift the event trace.
+  db::DatabaseOptions opts;
+  opts.device = GetParam();
+  opts.pool_pages = 512;
+  auto run = [&](uint64_t seed) {
+    db::Database db(opts);
+    storage::DatasetConfig cfg;
+    cfg.name = "t";
+    cfg.num_rows = 20000;
+    cfg.rows_per_page = 33;
+    cfg.c2_domain = 1 << 24;
+    cfg.seed = seed;
+    EXPECT_TRUE(db.CreateTable(cfg).ok());
+    const exec::RangePredicate pred{
+        0, storage::C2UpperBoundForSelectivity(cfg.c2_domain, 0.05)};
+    auto result = db.ExecuteScan("t", pred, core::AccessMethod::kPis, 4, 4,
+                                 /*flush_pool=*/true);
+    EXPECT_TRUE(result.ok());
+    return db.simulator().trace_hash();
+  };
+  EXPECT_NE(run(1), run(2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDevices, ReplayDeterminismTest,
+    ::testing::Values(io::DeviceKind::kHdd7200, io::DeviceKind::kSsdConsumer,
+                      io::DeviceKind::kRaid8),
+    [](const ::testing::TestParamInfo<io::DeviceKind>& info) {
+      return std::string(io::DeviceKindName(info.param));
+    });
+
+}  // namespace
+}  // namespace pioqo

@@ -1,0 +1,307 @@
+#!/usr/bin/env python3
+"""Determinism lint for pioqo's simulated paths.
+
+The discrete-event simulator's results (QDTT calibration grids, break-even
+points, every figure in EXPERIMENTS.md) are only trustworthy if a run is a
+pure function of its seeds. This lint scans the simulated-path sources for
+constructs that smuggle in host-dependent or address-dependent behavior:
+
+  RND001  std::random_device              — host entropy; use pioqo::Pcg32
+  RND002  std:: <random> engines          — non-reproducible seeding idioms
+                                            and platform-varying streams;
+                                            use pioqo::Pcg32
+  RND003  rand()/srand()/random()         — global hidden state
+  PORT001 std::*_distribution             — distribution algorithms differ
+                                            across standard libraries; use
+                                            Pcg32::UniformInt/NextDouble
+  WALL001 wall-clock reads                — system/steady/high_resolution
+                                            clock, time(), gettimeofday,
+                                            clock_gettime inside simulated
+                                            code; simulated time comes from
+                                            Simulator::Now()
+  SEED001 seeding from wall clock/entropy — e.g. seed(time(nullptr))
+  ORD001  iteration over std::unordered_* — bucket order is
+                                            implementation-defined; if it
+                                            feeds event scheduling the trace
+                                            diverges across platforms
+
+False positives are suppressed via tools/determinism_allowlist.txt, one
+entry per line:
+
+    <path-suffix>:<rule-id>:<substring-of-line>
+
+Usage:
+    lint_determinism.py [--root DIR] [--allowlist FILE] [--list-rules]
+                        [--self-test] [paths...]
+
+Exits 0 when clean, 1 when violations were found, 2 on usage errors.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Directories whose code runs inside (or feeds) the simulated timeline.
+DEFAULT_SCAN_DIRS = ("src/sim", "src/io", "src/core", "src/exec", "src/storage")
+
+RULES = {
+    "RND001": (
+        re.compile(r"\bstd::random_device\b"),
+        "std::random_device draws host entropy; route randomness through a "
+        "seeded pioqo::Pcg32",
+    ),
+    "RND002": (
+        re.compile(r"\bstd::(mt19937(_64)?|minstd_rand0?|ranlux\w+|"
+                   r"knuth_b|default_random_engine)\b"),
+        "<random> engines invite unseeded/platform-varying use; use "
+        "pioqo::Pcg32 with an explicit seed",
+    ),
+    "RND003": (
+        # rand()/random() take no arguments; srand()/srandom() take the seed,
+        # so they must match with arguments too.
+        re.compile(r"(?<![\w:])(srand(om)?\s*\(|(rand|random)\s*\(\s*\))"),
+        "C library RNG has hidden global state; use pioqo::Pcg32",
+    ),
+    "PORT001": (
+        re.compile(r"\bstd::\w*(uniform_int|uniform_real|normal|bernoulli|"
+                   r"poisson|exponential|geometric)_distribution\b"),
+        "std distributions produce different streams on different standard "
+        "libraries; use Pcg32::UniformInt/UniformBelow/NextDouble",
+    ),
+    "WALL001": (
+        re.compile(r"\bstd::chrono::(system_clock|steady_clock|"
+                   r"high_resolution_clock)\b|"
+                   r"\bgettimeofday\s*\(|\bclock_gettime\s*\(|"
+                   r"(?<![\w:])time\s*\(\s*(NULL|nullptr|0)\s*\)|"
+                   r"(?<![\w:.])clock\s*\(\s*\)"),
+        "wall-clock reads inside simulated paths; simulated time is "
+        "Simulator::Now()",
+    ),
+    "SEED001": (
+        re.compile(r"\b(seed|Seed)\s*\(\s*(time\s*\(|std::random_device|"
+                   r"__rdtsc|rdtsc)"),
+        "seeding from wall clock or entropy makes runs non-reproducible; "
+        "seeds must be explicit constants or config",
+    ),
+    # ORD001 is structural (two-pass) — see scan_file().
+    "ORD001": (
+        None,
+        "iteration over std::unordered_map/set has implementation-defined "
+        "order; if it feeds event scheduling, traces diverge — iterate a "
+        "sorted view or use std::map, or allowlist if provably "
+        "order-insensitive",
+    ),
+}
+
+UNORDERED_DECL = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s+(\w+)\s*[;{=]")
+RANGE_FOR = re.compile(r"\bfor\s*\([^;)]*?:\s*\*?(\w+)\s*\)")
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving line breaks."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def unordered_decls(path):
+    """Names declared as std::unordered_* containers in `path`."""
+    code = strip_comments_and_strings(
+        path.read_text(encoding="utf-8", errors="replace"))
+    return set(UNORDERED_DECL.findall(code))
+
+
+def scan_file(path, rel, allowlist, extra_unordered=()):
+    text = path.read_text(encoding="utf-8", errors="replace")
+    code = strip_comments_and_strings(text)
+    lines = code.splitlines()
+    raw_lines = text.splitlines()
+    violations = []
+
+    def report(lineno, rule, detail=""):
+        line = raw_lines[lineno - 1].strip() if lineno <= len(raw_lines) else ""
+        for suffix, allowed_rule, fragment in allowlist:
+            if (rel.endswith(suffix) and allowed_rule == rule
+                    and fragment in line):
+                return
+        message = RULES[rule][1]
+        if detail:
+            message = f"{message} [{detail}]"
+        violations.append((rel, lineno, rule, message, line))
+
+    for lineno, line in enumerate(lines, start=1):
+        for rule, (pattern, _) in RULES.items():
+            if pattern is not None and pattern.search(line):
+                report(lineno, rule)
+
+    # ORD001: range-for over a name declared as unordered_* in this file or
+    # in its paired header (class members iterated from the .cc).
+    unordered_names = set(UNORDERED_DECL.findall(code)) | set(extra_unordered)
+    if unordered_names:
+        for lineno, line in enumerate(lines, start=1):
+            for match in RANGE_FOR.finditer(line):
+                if match.group(1) in unordered_names:
+                    report(lineno, "ORD001", f"container '{match.group(1)}'")
+    return violations
+
+
+def load_allowlist(path):
+    entries = []
+    if not path.is_file():
+        return entries
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(":", 2)
+        if len(parts) != 3:
+            print(f"allowlist: malformed entry (need path:rule:fragment): "
+                  f"{raw}", file=sys.stderr)
+            sys.exit(2)
+        entries.append((parts[0], parts[1], parts[2]))
+    return entries
+
+
+SELF_TEST_SNIPPETS = {
+    "RND001": "std::random_device rd;",
+    "RND002": "std::mt19937 gen(42);",
+    "RND003": "int x = rand();",
+    "PORT001": "std::uniform_int_distribution<int> d(0, 9);",
+    "WALL001": "auto t = std::chrono::steady_clock::now();",
+    "SEED001": "rng.seed(time(nullptr));",
+    "ORD001": ("std::unordered_map<int, int> m;\n"
+               "void f() { for (auto& kv : m) { schedule(kv); } }"),
+}
+
+SELF_TEST_CLEAN = """\
+// A clean simulated-path file: explicit Pcg32, simulated clock only.
+#include "common/rng.h"
+Pcg32 rng(/*seed=*/42);  // std::mt19937 in a comment is fine
+const char* s = "std::random_device";  // in a string literal too
+std::map<int, int> ordered;
+void g() { for (auto& kv : ordered) { schedule(kv); } }
+"""
+
+
+def run_self_test():
+    import tempfile
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        tmpdir = Path(tmp)
+        for rule, snippet in SELF_TEST_SNIPPETS.items():
+            f = tmpdir / f"{rule}.cc"
+            f.write_text(snippet + "\n", encoding="utf-8")
+            found = {v[2] for v in scan_file(f, f.name, [])}
+            if rule not in found:
+                failures.append(f"rule {rule} did not fire on: {snippet!r}")
+        clean = tmpdir / "clean.cc"
+        clean.write_text(SELF_TEST_CLEAN, encoding="utf-8")
+        extra = scan_file(clean, clean.name, [])
+        if extra:
+            failures.append(f"false positives on clean file: {extra}")
+        # Allowlist suppression round-trips.
+        f = tmpdir / "allowed.cc"
+        f.write_text("std::random_device rd;\n", encoding="utf-8")
+        if scan_file(f, f.name, [("allowed.cc", "RND001", "random_device")]):
+            failures.append("allowlist entry failed to suppress RND001")
+    if failures:
+        print("determinism lint self-test FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"determinism lint self-test: all {len(SELF_TEST_SNIPPETS)} rules "
+          "fire, clean file clean, allowlist honored")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--allowlist",
+                        help="allowlist file (default: "
+                             "<root>/tools/determinism_allowlist.txt)")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on a known-bad snippet")
+    parser.add_argument("paths", nargs="*",
+                        help=f"files/dirs to scan (default: "
+                             f"{', '.join(DEFAULT_SCAN_DIRS)})")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule, (_, message) in RULES.items():
+            print(f"{rule}: {message}")
+        return 0
+    if args.self_test:
+        return run_self_test()
+
+    root = Path(args.root).resolve()
+    allowlist_path = (Path(args.allowlist) if args.allowlist
+                      else root / "tools" / "determinism_allowlist.txt")
+    allowlist = load_allowlist(allowlist_path)
+
+    targets = args.paths or [str(root / d) for d in DEFAULT_SCAN_DIRS]
+    files = []
+    for target in targets:
+        p = Path(target)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.h")) + sorted(p.rglob("*.cc")))
+        elif p.is_file():
+            files.append(p)
+        else:
+            print(f"determinism lint: no such path: {target}", file=sys.stderr)
+            return 2
+
+    violations = []
+    for f in files:
+        try:
+            rel = str(f.resolve().relative_to(root))
+        except ValueError:
+            rel = str(f)
+        extra = ()
+        if f.suffix == ".cc":
+            header = f.with_suffix(".h")
+            if header.is_file():
+                extra = unordered_decls(header)
+        violations.extend(scan_file(f, rel, allowlist, extra))
+
+    if violations:
+        print(f"determinism lint: {len(violations)} violation(s):")
+        for rel, lineno, rule, message, line in violations:
+            print(f"{rel}:{lineno}: [{rule}] {message}")
+            print(f"    {line}")
+        print(f"\n(allowlist: {allowlist_path})")
+        return 1
+    print(f"determinism lint: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
