@@ -29,7 +29,7 @@ double MeasureSequential(sim::Simulator& sim, Device& device) {
     for (uint64_t off = 0; off + block <= total; off += block) {
       co_await window.WaitAcquire();
       device.Submit(io::IoRequest{io::IoRequest::Kind::kRead, off, block},
-                    [&window, &all] {
+                    [&window, &all](const io::IoResult&) {
                       window.Release();
                       all.CountDown();
                     });

@@ -40,9 +40,10 @@ sim::Task GroupWaitingDriver(sim::Simulator& sim, io::Device& device,
                                           pages.size() - i);
     sim::Latch group_done(sim, static_cast<int64_t>(group));
     for (size_t j = 0; j < group; ++j) {
-      device.Submit(PageRead(pages[i + j]), [&group_done] {
-        group_done.CountDown();
-      });
+      device.Submit(PageRead(pages[i + j]),
+                    [&group_done](const io::IoResult&) {
+                      group_done.CountDown();
+                    });
     }
     i += group;
     co_await group_done.Wait();
@@ -64,14 +65,17 @@ sim::Task ActiveWaitingDriver(sim::Simulator& sim, io::Device& device,
   size_t issued = 0;
   for (; issued < n; ++issued) {
     device.Submit(PageRead(pages[issued]),
-                  [ev = slots[issued].get()] { ev->Set(); });
+                  [ev = slots[issued].get()](const io::IoResult&) {
+                    ev->Set();
+                  });
   }
   for (size_t waited = 0; waited < pages.size(); ++waited) {
     sim::Event& slot = *slots[waited % n];
     co_await slot.Wait();
     slot.Reset();
     if (issued < pages.size()) {
-      device.Submit(PageRead(pages[issued]), [&slot] { slot.Set(); });
+      device.Submit(PageRead(pages[issued]),
+                    [&slot](const io::IoResult&) { slot.Set(); });
       ++issued;
     }
   }

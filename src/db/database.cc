@@ -11,10 +11,28 @@ namespace pioqo::db {
 Database::Database(DatabaseOptions options)
     : options_(options),
       device_(io::MakeDevice(sim_, options.device)),
-      disk_(*device_),
-      pool_(disk_, options.pool_pages),
+      fault_device_(options.faults.has_value()
+                        ? std::make_unique<io::FaultInjectingDevice>(
+                              *device_, *options.faults)
+                        : nullptr),
+      disk_(fault_device_ != nullptr ? static_cast<io::Device&>(*fault_device_)
+                                     : *device_),
+      pool_(disk_, options.pool_pages, options.pool_options),
       cpu_(sim_, options.constants.logical_cores,
            options.constants.physical_cores, options.constants.smt_penalty) {}
+
+void Database::EnableHealthMonitor(io::DeviceHealthMonitor::Options options) {
+  if (options.expected_read_latency_us <= 0.0 && qdtt_.has_value()) {
+    // Baseline from the calibrated model: the amortized cost of one random
+    // page read across the whole device at a moderate queue depth, scaled
+    // back up to a per-request completion latency.
+    const double band = static_cast<double>(disk_.device().capacity_bytes() /
+                                            storage::kPageSize);
+    const double qd = 8.0;
+    options.expected_read_latency_us = qdtt_->Lookup(band, qd) * qd;
+  }
+  health_ = std::make_unique<io::DeviceHealthMonitor>(disk_.device(), options);
+}
 
 Status Database::CreateTable(const storage::DatasetConfig& config) {
   if (tables_.contains(config.name)) {
@@ -117,21 +135,28 @@ StatusOr<exec::ScanResult> Database::ExecuteScan(const std::string& table,
   if (dop < 1 || dop > options_.constants.max_parallel_degree) {
     return Status::InvalidArgument("bad parallel degree");
   }
-  if (flush_pool) pool_.Clear();
-  exec::ExecContext ctx{sim_, cpu_, pool_, options_.constants};
+  if (flush_pool) PIOQO_RETURN_IF_ERROR(pool_.Clear());
+  exec::ExecContext ctx{sim_, cpu_, pool_, options_.constants, health_.get()};
+  exec::ScanResult result;
   switch (method) {
     case core::AccessMethod::kFts:
     case core::AccessMethod::kPfts:
-      return exec::RunFullTableScan(ctx, ds->table, pred, dop);
+      result = exec::RunFullTableScan(ctx, ds->table, pred, dop);
+      break;
     case core::AccessMethod::kIs:
     case core::AccessMethod::kPis:
-      return exec::RunIndexScan(ctx, ds->table, ds->index_c2, pred, dop,
-                                prefetch_depth);
+      result = exec::RunIndexScan(ctx, ds->table, ds->index_c2, pred, dop,
+                                  prefetch_depth);
+      break;
     case core::AccessMethod::kSortedIs:
-      return exec::RunSortedIndexScan(ctx, ds->table, ds->index_c2, pred, dop,
-                                      prefetch_depth);
+      result = exec::RunSortedIndexScan(ctx, ds->table, ds->index_c2, pred,
+                                        dop, prefetch_depth);
+      break;
   }
-  return Status::Internal("unreachable");
+  // A scan that failed mid-flight still tore down cleanly (all coroutines
+  // retired, no pages pinned); surface its error as the query's Status.
+  if (!result.ok()) return result.status;
+  return result;
 }
 
 StatusOr<std::vector<exec::ScanResult>> Database::ExecuteConcurrentScans(
@@ -164,8 +189,10 @@ StatusOr<std::vector<exec::ScanResult>> Database::ExecuteConcurrentScans(
     }
     exec_specs.push_back(es);
   }
-  if (flush_pool) pool_.Clear();
-  exec::ExecContext ctx{sim_, cpu_, pool_, options_.constants};
+  if (flush_pool) PIOQO_RETURN_IF_ERROR(pool_.Clear());
+  exec::ExecContext ctx{sim_, cpu_, pool_, options_.constants, health_.get()};
+  // Concurrent streams can fail independently; each result carries its own
+  // `status` instead of collapsing the whole mix into one error.
   return exec::RunConcurrentScans(ctx, exec_specs);
 }
 

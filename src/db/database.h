@@ -14,6 +14,9 @@
 #include "core/qdtt_model.h"
 #include "exec/scan_operators.h"
 #include "io/device_factory.h"
+#include "io/fault_injection.h"
+#include "io/health_monitor.h"
+#include "io/retry_policy.h"
 #include "opt/optimizer.h"
 #include "sim/cpu.h"
 #include "sim/simulator.h"
@@ -32,6 +35,14 @@ struct DatabaseOptions {
   /// Calibration settings used by Calibrate(); the defaults keep a full
   /// grid calibration around a second of host time.
   core::CalibratorOptions calibration;
+  /// When set, the storage device is wrapped in a FaultInjectingDevice with
+  /// this (seeded, deterministic) fault schedule. Absent = no wrapper at
+  /// all, so fault-free runs are bit-identical to builds without this knob.
+  std::optional<io::FaultConfig> faults;
+  /// Retry/timeout policy for buffer-pool page loads (plus the jitter seed).
+  /// The inert default costs nothing; give timeout_us > 0 to survive stuck
+  /// requests.
+  storage::BufferPoolOptions pool_options;
 };
 
 /// The top-level facade: one simulated host (clock, 8 logical cores), one
@@ -110,8 +121,22 @@ class Database {
   StatusOr<const core::EquiWidthHistogram*> HistogramFor(
       const std::string& table) const;
 
+  /// Installs a health monitor on the (outermost) device; subsequent scans
+  /// clamp their DOP while the device looks degraded. When `options` has no
+  /// explicit baseline and the database is calibrated, the expected read
+  /// latency is derived from the QDTT model (whole-device band, moderate
+  /// queue depth).
+  void EnableHealthMonitor(io::DeviceHealthMonitor::Options options = {});
+  void DisableHealthMonitor() { health_.reset(); }
+  io::DeviceHealthMonitor* health_monitor() { return health_.get(); }
+
   sim::Simulator& simulator() { return sim_; }
-  io::Device& device() { return *device_; }
+  /// The device queries run against: the fault injector when configured,
+  /// else the raw device.
+  io::Device& device() { return disk_.device(); }
+  /// The raw (unwrapped) device model; == device() without fault injection.
+  io::Device& raw_device() { return *device_; }
+  io::FaultInjectingDevice* fault_injector() { return fault_device_.get(); }
   storage::BufferPool& pool() { return pool_; }
   storage::DiskImage& disk() { return disk_; }
   const DatabaseOptions& options() const { return options_; }
@@ -120,9 +145,12 @@ class Database {
   DatabaseOptions options_;
   sim::Simulator sim_;
   std::unique_ptr<io::Device> device_;
+  /// Present iff options_.faults is set; wraps *device_.
+  std::unique_ptr<io::FaultInjectingDevice> fault_device_;
   storage::DiskImage disk_;
   storage::BufferPool pool_;
   sim::CpuScheduler cpu_;
+  std::unique_ptr<io::DeviceHealthMonitor> health_;
   std::map<std::string, storage::Dataset> tables_;
   std::map<std::string, core::EquiWidthHistogram> histograms_;
   std::optional<core::QdttModel> qdtt_;

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "io/device.h"
+#include "io/health_monitor.h"
 #include "sim/sync.h"
 #include "sim/task.h"
 #include "storage/data_generator.h"
@@ -34,6 +35,14 @@ struct JoinState {
   uint64_t probes = 0;
   uint64_t rows_joined = 0;
   int64_t sum_c1 = 0;
+
+  /// First I/O error; once set, workers drain remaining pages without
+  /// touching the device (same protocol as the full table scan).
+  Status status;
+  bool failed() const { return !status.ok(); }
+  void RecordError(const Status& st) {
+    if (status.ok() && !st.ok()) status = st;
+  }
 
   JoinState(ExecContext& c, const storage::Table& o, const storage::Table& i,
             const BPlusTree& idx, RangePredicate p, int dop)
@@ -65,7 +74,11 @@ sim::Task JoinPrefetcher(JoinState& s) {
   for (PageId b = s.outer.first_page(); b < s.end_page;
        b += static_cast<PageId>(bp)) {
     co_await s.prefetch_slots.WaitAcquire();
-    s.ctx.pool.PrefetchBlock(b, std::min<uint32_t>(bp, s.end_page - b));
+    // After a failure the slot protocol keeps cycling (drain-mode workers
+    // still release slots), but no new I/O is issued.
+    if (!s.failed()) {
+      s.ctx.pool.PrefetchBlock(b, std::min<uint32_t>(bp, s.end_page - b));
+    }
   }
 }
 
@@ -78,7 +91,24 @@ sim::Task JoinWorker(JoinState& s) {
   for (;;) {
     if (s.next_page >= s.end_page) break;
     const PageId outer_page = s.next_page++;
+
+    if (s.failed()) {
+      // Drain mode: consume remaining outer pages without device I/O so
+      // the block/slot protocol completes and every coroutine retires.
+      if (--s.block_remaining[s.BlockOf(outer_page)] == 0) {
+        s.prefetch_slots.Release();
+      }
+      continue;
+    }
+
     auto outer_ref = co_await s.ctx.pool.Fetch(outer_page);
+    if (!outer_ref.ok()) {
+      s.RecordError(outer_ref.status);
+      if (--s.block_remaining[s.BlockOf(outer_page)] == 0) {
+        s.prefetch_slots.Release();
+      }
+      continue;
+    }
     const uint16_t rows = s.outer.RowsInPage(outer_page);
     co_await s.ctx.cpu.Consume(c.fetch_cpu_us + c.page_overhead_cpu_us +
                                rows * c.row_eval_cpu_us);
@@ -101,11 +131,17 @@ sim::Task JoinWorker(JoinState& s) {
     s.ctx.pool.Unpin(outer_page);
 
     for (const OuterRow& row : qualifying) {
+      if (s.failed()) break;
       ++s.probes;
       // Descent.
       PageId pid = s.inner_index.root();
       for (;;) {
         auto ref = co_await s.ctx.pool.Fetch(pid);
+        if (!ref.ok()) {
+          // Descent holds no pins across a fetch, so nothing to unwind.
+          s.RecordError(ref.status);
+          break;
+        }
         co_await s.ctx.cpu.Consume(c.fetch_cpu_us);
         const bool leaf = BPlusTree::IsLeaf(ref.data);
         const PageId next =
@@ -123,6 +159,11 @@ sim::Task JoinWorker(JoinState& s) {
               if (next_leaf == kInvalidPageId) break;
               leaf_id = next_leaf;
               leaf_ref = co_await s.ctx.pool.Fetch(leaf_id);
+              if (!leaf_ref.ok()) {
+                // The previous leaf is already unpinned.
+                s.RecordError(leaf_ref.status);
+                break;
+              }
               co_await s.ctx.cpu.Consume(c.fetch_cpu_us);
               slot = 0;
               continue;
@@ -134,6 +175,11 @@ sim::Task JoinWorker(JoinState& s) {
             }
             // Fetch the matching inner row.
             auto inner_ref = co_await s.ctx.pool.Fetch(entry.rid.page);
+            if (!inner_ref.ok()) {
+              s.RecordError(inner_ref.status);
+              s.ctx.pool.Unpin(leaf_id);
+              break;
+            }
             co_await s.ctx.cpu.Consume(c.fetch_cpu_us + c.row_eval_cpu_us +
                                        c.index_entry_cpu_us);
             const int32_t inner_c1 = s.inner.GetColumn(
@@ -165,6 +211,7 @@ JoinResult RunIndexNestedLoopJoin(ExecContext& ctx,
                                   const storage::BPlusTree& inner_index,
                                   RangePredicate pred, int dop) {
   PIOQO_CHECK(dop >= 1);
+  if (ctx.health != nullptr) dop = ctx.health->ClampDop(dop);
   ctx.pool.disk().device().stats().Reset();
   const double start = ctx.sim.Now();
   JoinState state(ctx, outer, inner, inner_index, pred, dop);
@@ -174,6 +221,7 @@ JoinResult RunIndexNestedLoopJoin(ExecContext& ctx,
   PIOQO_CHECK(state.done.done());
 
   JoinResult result;
+  result.status = state.status;
   result.outer_rows_examined = state.outer_rows;
   result.probes = state.probes;
   result.rows_joined = state.rows_joined;

@@ -10,6 +10,11 @@ namespace pioqo::exec {
 
 /// Result of a join execution.
 struct JoinResult {
+  /// OK when the join completed; otherwise the first I/O error that aborted
+  /// it (accumulators then cover only the work done before the failure).
+  Status status;
+  bool ok() const { return status.ok(); }
+
   uint64_t outer_rows_examined = 0;
   uint64_t probes = 0;          // index lookups into the inner table
   uint64_t rows_joined = 0;     // matching (outer, inner) pairs

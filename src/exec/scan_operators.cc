@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "io/device.h"
+#include "io/health_monitor.h"
 #include "storage/data_generator.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -20,11 +21,15 @@ using storage::kInvalidPageId;
 using storage::PageId;
 
 /// Shared MAX(C1) accumulator (single simulated timeline, so plain fields).
+/// Also carries the scan's failure state: the first I/O error recorded here
+/// aborts the scan, and every worker checks `failed()` to switch into drain
+/// mode (keep the coordination protocol alive without touching the device).
 struct Aggregate {
   bool found = false;
   int32_t max_c1 = 0;
   uint64_t rows_matched = 0;
   uint64_t rows_examined = 0;
+  Status status;
 
   void Accumulate(int32_t c1) {
     if (!found || c1 > max_c1) {
@@ -33,7 +38,22 @@ struct Aggregate {
     }
     ++rows_matched;
   }
+
+  bool failed() const { return !status.ok(); }
+  void RecordError(const Status& st) {
+    if (status.ok() && !st.ok()) status = st;
+  }
 };
+
+/// Re-evaluates the health monitor's DOP clamp against the currently
+/// allowed parallelism. Returns the (possibly reduced) allowed DOP; workers
+/// whose index is at or above it retire. Never drops below 1 — worker 0
+/// always finishes the scan, degraded or not.
+int UpdateAllowedDop(ExecContext& ctx, int allowed) {
+  if (ctx.health == nullptr || allowed <= 1) return allowed;
+  if (!ctx.health->degraded()) return allowed;
+  return std::min(allowed, ctx.health->ClampDop(allowed));
+}
 
 /// Snapshot device+pool counters around a run and fold them into a result.
 class Measurement {
@@ -59,6 +79,7 @@ class Measurement {
     const auto& pool = ctx_.pool.stats();
     r.pool_hits = pool.hits - start_pool_.hits;
     r.pool_misses = pool.misses - start_pool_.misses;
+    r.status = agg.status;
     return r;
   }
 
@@ -84,6 +105,7 @@ struct FtsState {
   sim::Semaphore page_latch;
   sim::Latch done;
   Aggregate agg;
+  int allowed_dop;
 
   FtsState(ExecContext& c, const storage::Table& t, RangePredicate p, int dop)
       : ctx(c),
@@ -93,7 +115,8 @@ struct FtsState {
         end_page(t.first_page() + t.num_pages()),
         prefetch_slots(c.sim, c.constants.fts_prefetch_blocks),
         page_latch(c.sim, 1),
-        done(c.sim, dop) {
+        done(c.sim, dop),
+        allowed_dop(dop) {
     const uint32_t bp = c.constants.fts_block_pages;
     const uint32_t blocks = (t.num_pages() + bp - 1) / bp;
     block_remaining.assign(blocks, 0);
@@ -114,17 +137,38 @@ sim::Task FtsPrefetcher(FtsState& s) {
        b += static_cast<PageId>(bp)) {
     co_await s.prefetch_slots.WaitAcquire();
     // Workers may already be past this block; a fully consumed block's
-    // pages are simply found resident/in flight and skipped.
-    s.ctx.pool.PrefetchBlock(b, std::min<uint32_t>(bp, s.end_page - b));
+    // pages are simply found resident/in flight and skipped. Once the scan
+    // has failed, keep cycling through the slot protocol (workers still
+    // release slots in drain mode) but stop issuing new I/O.
+    if (!s.agg.failed()) {
+      s.ctx.pool.PrefetchBlock(b, std::min<uint32_t>(bp, s.end_page - b));
+    }
   }
 }
 
-sim::Task FtsWorker(FtsState& s) {
+sim::Task FtsWorker(FtsState& s, int worker_index) {
   const auto& c = s.ctx.constants;
   co_await s.ctx.cpu.Consume(c.worker_startup_us);
   for (;;) {
+    // Graceful degradation: when the health monitor reports a struggling
+    // device, high-index workers retire between pages (worker 0 never
+    // does, so the scan always completes).
+    if (worker_index > 0) {
+      s.allowed_dop = UpdateAllowedDop(s.ctx, s.allowed_dop);
+      if (worker_index >= s.allowed_dop) break;
+    }
     if (s.next_page >= s.end_page) break;
     const PageId page = s.next_page++;
+
+    if (s.agg.failed()) {
+      // Drain mode: the scan already failed. Consume the remaining pages
+      // without device I/O, keeping the block accounting (and through it
+      // the prefetcher's slot protocol) alive so every coroutine retires.
+      if (--s.block_remaining[s.BlockOf(page)] == 0) {
+        s.prefetch_slots.Release();
+      }
+      continue;
+    }
 
     // Serialized coordination: shared counter + page latch.
     co_await s.page_latch.WaitAcquire();
@@ -132,6 +176,15 @@ sim::Task FtsWorker(FtsState& s) {
     s.page_latch.Release();
 
     auto ref = co_await s.ctx.pool.Fetch(page);
+    if (!ref.ok()) {
+      // Failed fetch: the page is not pinned; record the error and fall
+      // into drain mode for this and all remaining pages.
+      s.agg.RecordError(ref.status);
+      if (--s.block_remaining[s.BlockOf(page)] == 0) {
+        s.prefetch_slots.Release();
+      }
+      continue;
+    }
     const uint16_t rows = s.table.RowsInPage(page);
     co_await s.ctx.cpu.Consume(c.fetch_cpu_us + c.page_overhead_cpu_us +
                                rows * c.row_eval_cpu_us);
@@ -168,6 +221,7 @@ struct IsState {
   PageId tail_leaf = kInvalidPageId;  // last leaf pushed so far
   sim::Latch done;
   Aggregate agg;
+  int allowed_dop;
 
   IsState(ExecContext& c, const storage::Table& t, const BPlusTree& idx,
           RangePredicate p, int dop, int prefetch)
@@ -177,7 +231,15 @@ struct IsState {
         pred(p),
         prefetch_depth(prefetch),
         leaves(c.sim),
-        done(c.sim, dop + 1) {}
+        done(c.sim, dop + 1),
+        allowed_dop(dop) {}
+
+  /// Marks the scan failed and closes the leaf channel so every worker —
+  /// queued, popping, or about to pop — unblocks and retires.
+  void Fail(const Status& st) {
+    agg.RecordError(st);
+    if (!leaves.closed()) leaves.Close();
+  }
 };
 
 /// Root-to-leaf descent for `key`, paying one timed page fetch per level.
@@ -187,6 +249,13 @@ sim::Task IsDescend(IsState& s, int32_t key, PageId& out_leaf,
   PageId pid = s.index.root();
   for (;;) {
     auto ref = co_await s.ctx.pool.Fetch(pid);
+    if (!ref.ok()) {
+      // Failed descent: out_leaf stays kInvalidPageId; the coordinator
+      // checks the aggregate's status after the latch.
+      s.agg.RecordError(ref.status);
+      arrived.CountDown();
+      co_return;
+    }
     co_await s.ctx.cpu.Consume(c.fetch_cpu_us + c.page_overhead_cpu_us);
     const bool leaf = BPlusTree::IsLeaf(ref.data);
     const PageId next = leaf ? kInvalidPageId : BPlusTree::ChildFor(ref.data, key);
@@ -212,6 +281,11 @@ sim::Task IsCoordinator(IsState& s) {
   IsDescend(s, s.pred.low, leaf_lo, arrived);
   IsDescend(s, s.pred.high, leaf_hi, arrived);
   co_await arrived.Wait();
+  if (s.agg.failed()) {
+    s.Fail(s.agg.status);
+    s.done.CountDown();
+    co_return;
+  }
   PIOQO_CHECK(leaf_lo != kInvalidPageId && leaf_hi != kInvalidPageId);
   for (PageId leaf = leaf_lo; leaf <= leaf_hi; ++leaf) {
     s.leaves.Push(leaf);
@@ -223,14 +297,28 @@ sim::Task IsCoordinator(IsState& s) {
   s.done.CountDown();
 }
 
-sim::Task IsWorker(IsState& s) {
+sim::Task IsWorker(IsState& s, int worker_index) {
   const auto& c = s.ctx.constants;
   co_await s.ctx.cpu.Consume(c.worker_startup_us);
   for (;;) {
+    // Graceful degradation: high-index workers retire between leaves.
+    if (worker_index > 0) {
+      s.allowed_dop = UpdateAllowedDop(s.ctx, s.allowed_dop);
+      if (worker_index >= s.allowed_dop) break;
+    }
     auto item = co_await s.leaves.Pop();
     if (!item) break;
     const PageId leaf_id = *item;
+    if (s.agg.failed()) {
+      // Drain mode: another worker failed and closed the channel; discard
+      // leaves that were already queued without touching the device.
+      continue;
+    }
     auto leaf = co_await s.ctx.pool.Fetch(leaf_id);
+    if (!leaf.ok()) {
+      s.Fail(leaf.status);
+      break;
+    }
     co_await s.ctx.cpu.Consume(c.fetch_cpu_us + c.page_overhead_cpu_us);
 
     const uint16_t n = BPlusTree::EntryCount(leaf.data);
@@ -243,8 +331,9 @@ sim::Task IsWorker(IsState& s) {
     }
 
     // Tail handling: extend the range if keys == high may continue on the
-    // next leaf, else close the channel.
-    if (leaf_id == s.tail_leaf) {
+    // next leaf, else close the channel. A failed sibling may have closed
+    // the channel already, in which case the continuation is moot.
+    if (leaf_id == s.tail_leaf && !s.leaves.closed()) {
       const bool may_continue =
           n > 0 && BPlusTree::LeafEntryAt(leaf.data, n - 1).key <= s.pred.high;
       const PageId next = BPlusTree::LeafNext(leaf.data);
@@ -256,6 +345,7 @@ sim::Task IsWorker(IsState& s) {
       }
     }
 
+    bool leaf_failed = false;
     size_t prefetched = 0;
     for (size_t i = 0; i < batch.size(); ++i) {
       // Keep up to prefetch_depth upcoming table pages of this leaf in
@@ -269,6 +359,11 @@ sim::Task IsWorker(IsState& s) {
 
       co_await s.ctx.cpu.Consume(c.index_entry_cpu_us);
       auto row_page = co_await s.ctx.pool.Fetch(batch[i].rid.page);
+      if (!row_page.ok()) {
+        s.Fail(row_page.status);
+        leaf_failed = true;
+        break;
+      }
       co_await s.ctx.cpu.Consume(c.fetch_cpu_us + c.row_eval_cpu_us);
       const int32_t c2 = s.table.GetColumn(row_page.data, batch[i].rid.slot,
                                            storage::kColumnC2);
@@ -279,6 +374,7 @@ sim::Task IsWorker(IsState& s) {
       s.ctx.pool.Unpin(batch[i].rid.page);
     }
     s.ctx.pool.Unpin(leaf_id);
+    if (leaf_failed) break;
   }
   s.done.CountDown();
 }
@@ -306,6 +402,7 @@ struct SortedIsState {
   sim::Latch groups_ready;
   sim::Latch done;
   Aggregate agg;
+  int allowed_dop;
 
   SortedIsState(ExecContext& c, const storage::Table& t, const BPlusTree& idx,
                 RangePredicate p, int d, int prefetch)
@@ -316,16 +413,30 @@ struct SortedIsState {
         dop(d),
         prefetch_depth(prefetch),
         groups_ready(c.sim, 1),
-        done(c.sim, d + 1) {}
+        done(c.sim, d + 1),
+        allowed_dop(d) {}
+
+  /// Marks the scan failed and skips all unclaimed page groups, so the
+  /// remaining workers fall through their loop and retire.
+  void Fail(const Status& st) {
+    agg.RecordError(st);
+    next_group = groups.size();
+  }
 };
 
 /// Root-to-leaf descent used by coordinators (timed page fetches).
 sim::Task DescendToLeaf(ExecContext& ctx, const BPlusTree& index, int32_t key,
-                        PageId& out_leaf, sim::Latch& arrived) {
+                        PageId& out_leaf, Status& error, sim::Latch& arrived) {
   const auto& c = ctx.constants;
   PageId pid = index.root();
   for (;;) {
     auto ref = co_await ctx.pool.Fetch(pid);
+    if (!ref.ok()) {
+      // out_leaf stays kInvalidPageId; the caller inspects `error`.
+      error = ref.status;
+      arrived.CountDown();
+      co_return;
+    }
     co_await ctx.cpu.Consume(c.fetch_cpu_us + c.page_overhead_cpu_us);
     const bool leaf = BPlusTree::IsLeaf(ref.data);
     const PageId next = leaf ? kInvalidPageId : BPlusTree::ChildFor(ref.data, key);
@@ -345,11 +456,19 @@ sim::Task SortedIsCoordinator(SortedIsState& s) {
   std::vector<storage::RowId> rids;
   if (!s.pred.empty()) {
     PageId leaf = kInvalidPageId;
+    Status descend_error;
     sim::Latch arrived(s.ctx.sim, 1);
-    DescendToLeaf(s.ctx, s.index, s.pred.low, leaf, arrived);
+    DescendToLeaf(s.ctx, s.index, s.pred.low, leaf, descend_error, arrived);
     co_await arrived.Wait();
+    if (!descend_error.ok()) s.agg.RecordError(descend_error);
     while (leaf != kInvalidPageId) {
       auto ref = co_await s.ctx.pool.Fetch(leaf);
+      if (!ref.ok()) {
+        // Leaf-chain walk failed: abandon the collection; the workers wake
+        // to an empty (or truncated-to-nothing) group list.
+        s.agg.RecordError(ref.status);
+        break;
+      }
       co_await s.ctx.cpu.Consume(c.fetch_cpu_us + c.page_overhead_cpu_us);
       const uint16_t n = BPlusTree::EntryCount(ref.data);
       uint16_t slot = BPlusTree::LeafLowerBound(ref.data, s.pred.low);
@@ -371,8 +490,9 @@ sim::Task SortedIsCoordinator(SortedIsState& s) {
     }
   }
 
-  // The sorting stage: O(k log k) CPU, then group by page.
-  if (!rids.empty()) {
+  // The sorting stage: O(k log k) CPU, then group by page. Pointless after
+  // a failure — the workers just need to be released.
+  if (!rids.empty() && !s.agg.failed()) {
     const double k = static_cast<double>(rids.size());
     co_await s.ctx.cpu.Consume(k * std::log2(std::max(k, 2.0)) *
                                c.sort_entry_cpu_us);
@@ -388,11 +508,16 @@ sim::Task SortedIsCoordinator(SortedIsState& s) {
   s.done.CountDown();
 }
 
-sim::Task SortedIsWorker(SortedIsState& s) {
+sim::Task SortedIsWorker(SortedIsState& s, int worker_index) {
   const auto& c = s.ctx.constants;
   co_await s.ctx.cpu.Consume(c.worker_startup_us);
   co_await s.groups_ready.Wait();
   for (;;) {
+    // Graceful degradation: high-index workers retire between groups.
+    if (worker_index > 0) {
+      s.allowed_dop = UpdateAllowedDop(s.ctx, s.allowed_dop);
+      if (worker_index >= s.allowed_dop) break;
+    }
     if (s.next_group >= s.groups.size()) break;
     const size_t i = s.next_group++;
     // Keep upcoming pages in flight; Prefetch dedups pages other workers
@@ -404,6 +529,10 @@ sim::Task SortedIsWorker(SortedIsState& s) {
     }
     const auto& group = s.groups[i];
     auto ref = co_await s.ctx.pool.Fetch(group.page);
+    if (!ref.ok()) {
+      s.Fail(ref.status);
+      break;
+    }
     co_await s.ctx.cpu.Consume(c.fetch_cpu_us + c.page_overhead_cpu_us +
                                static_cast<double>(group.slots.size()) *
                                    c.row_eval_cpu_us);
@@ -437,7 +566,7 @@ class FtsJob : public ScanJob {
          int dop)
       : state_(ctx, table, pred, dop) {
     FtsPrefetcher(state_);
-    for (int w = 0; w < dop; ++w) FtsWorker(state_);
+    for (int w = 0; w < dop; ++w) FtsWorker(state_, w);
   }
   sim::Latch& latch() override { return state_.done; }
   const Aggregate& agg() const override { return state_.agg; }
@@ -452,7 +581,7 @@ class IsJob : public ScanJob {
         RangePredicate pred, int dop, int prefetch)
       : state_(ctx, table, index, pred, dop, prefetch) {
     IsCoordinator(state_);
-    for (int w = 0; w < dop; ++w) IsWorker(state_);
+    for (int w = 0; w < dop; ++w) IsWorker(state_, w);
   }
   sim::Latch& latch() override { return state_.done; }
   const Aggregate& agg() const override { return state_.agg; }
@@ -468,7 +597,7 @@ class SortedIsJob : public ScanJob {
               int prefetch)
       : state_(ctx, table, index, pred, dop, prefetch) {
     SortedIsCoordinator(state_);
-    for (int w = 0; w < dop; ++w) SortedIsWorker(state_);
+    for (int w = 0; w < dop; ++w) SortedIsWorker(state_, w);
   }
   sim::Latch& latch() override { return state_.done; }
   const Aggregate& agg() const override { return state_.agg; }
@@ -505,6 +634,7 @@ std::string ScanResult::ToString() const {
 ScanResult RunFullTableScan(ExecContext& ctx, const storage::Table& table,
                             RangePredicate pred, int dop) {
   PIOQO_CHECK(dop >= 1);
+  if (ctx.health != nullptr) dop = ctx.health->ClampDop(dop);
   Measurement measurement(ctx);
   FtsJob job(ctx, table, pred, dop);
   ctx.sim.Run();
@@ -517,6 +647,7 @@ ScanResult RunIndexScan(ExecContext& ctx, const storage::Table& table,
                         int dop, int prefetch_depth) {
   PIOQO_CHECK(dop >= 1);
   PIOQO_CHECK(prefetch_depth >= 0);
+  if (ctx.health != nullptr) dop = ctx.health->ClampDop(dop);
   Measurement measurement(ctx);
   IsJob job(ctx, table, index, pred, dop,
             ClampPrefetch(ctx, dop, prefetch_depth));
@@ -531,6 +662,7 @@ ScanResult RunSortedIndexScan(ExecContext& ctx, const storage::Table& table,
                               int prefetch_depth) {
   PIOQO_CHECK(dop >= 1);
   PIOQO_CHECK(prefetch_depth >= 0);
+  if (ctx.health != nullptr) dop = ctx.health->ClampDop(dop);
   Measurement measurement(ctx);
   SortedIsJob job(ctx, table, index, pred, dop,
                   ClampPrefetch(ctx, dop, prefetch_depth));
@@ -550,17 +682,19 @@ std::vector<ScanResult> RunConcurrentScans(ExecContext& ctx,
     const ScanSpec& spec = specs[i];
     PIOQO_CHECK(spec.table != nullptr);
     PIOQO_CHECK(spec.dop >= 1);
+    const int dop =
+        ctx.health != nullptr ? ctx.health->ClampDop(spec.dop) : spec.dop;
     if (spec.index == nullptr) {
       jobs.push_back(std::make_unique<FtsJob>(ctx, *spec.table, spec.pred,
-                                              spec.dop));
+                                              dop));
     } else if (spec.sorted) {
       jobs.push_back(std::make_unique<SortedIsJob>(
-          ctx, *spec.table, *spec.index, spec.pred, spec.dop,
-          ClampPrefetch(ctx, spec.dop, spec.prefetch_depth)));
+          ctx, *spec.table, *spec.index, spec.pred, dop,
+          ClampPrefetch(ctx, dop, spec.prefetch_depth)));
     } else {
       jobs.push_back(std::make_unique<IsJob>(
-          ctx, *spec.table, *spec.index, spec.pred, spec.dop,
-          ClampPrefetch(ctx, spec.dop, spec.prefetch_depth)));
+          ctx, *spec.table, *spec.index, spec.pred, dop,
+          ClampPrefetch(ctx, dop, spec.prefetch_depth)));
     }
     WatchCompletion(ctx.sim, jobs.back()->latch(), &finish_times[i]);
   }
@@ -575,6 +709,7 @@ std::vector<ScanResult> RunConcurrentScans(ExecContext& ctx,
     PIOQO_CHECK(finish_times[i] >= 0.0);
     ScanResult r = mix;
     const Aggregate& agg = jobs[i]->agg();
+    r.status = agg.status;
     r.max_c1 = agg.max_c1;
     r.rows_matched = agg.rows_matched;
     r.rows_examined = agg.rows_examined;

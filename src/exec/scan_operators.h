@@ -12,6 +12,10 @@
 #include "storage/buffer_pool.h"
 #include "storage/table.h"
 
+namespace pioqo::io {
+class DeviceHealthMonitor;
+}  // namespace pioqo::io
+
 namespace pioqo::exec {
 
 /// Shared execution environment: the simulated host (clock + cores), the
@@ -22,6 +26,10 @@ struct ExecContext {
   sim::CpuScheduler& cpu;
   storage::BufferPool& pool;
   core::CostConstants constants;
+  /// Optional degradation signal: when set, the scan operators clamp their
+  /// requested (and mid-scan, their effective) degree of parallelism while
+  /// the device looks unhealthy. Null disables graceful degradation.
+  io::DeviceHealthMonitor* health = nullptr;
 };
 
 /// Executes a (parallel) full table scan of the paper's query Q and returns

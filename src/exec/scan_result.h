@@ -4,10 +4,18 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.h"
+
 namespace pioqo::exec {
 
 /// Outcome + measurements of one scan execution.
 struct ScanResult {
+  /// OK when the scan completed; otherwise the first I/O error that
+  /// aborted it (the aggregates then cover only the rows processed before
+  /// the failure).
+  Status status;
+  bool ok() const { return status.ok(); }
+
   /// MAX(C1) over qualifying rows; meaningful only if rows_matched > 0.
   int32_t max_c1 = 0;
   uint64_t rows_matched = 0;

@@ -1,5 +1,6 @@
 #include "io/device.h"
 
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
@@ -7,21 +8,43 @@
 namespace pioqo::io {
 
 void Device::Submit(const IoRequest& req, CompletionFn done) {
-  PIOQO_CHECK(req.length > 0);
-  PIOQO_CHECK(req.offset + req.length <= capacity_bytes())
-      << "I/O beyond device capacity: offset=" << req.offset
-      << " length=" << req.length << " capacity=" << capacity_bytes();
   const bool is_read = req.kind == IoRequest::Kind::kRead;
   const sim::SimTime submit_time = sim_.Now();
   if (trace_sink_ != nullptr) {
     trace_sink_->push_back(TraceEntry{submit_time, req.kind, req.offset, req.length});
   }
   stats_.RecordSubmit(submit_time, is_read, req.length);
-  SubmitImpl(req, [this, done = std::move(done), is_read,
-                   length = req.length, submit_time] {
-    stats_.RecordComplete(sim_.Now(), is_read, length, sim_.Now() - submit_time);
-    done();
-  });
+
+  // Request validation: malformed commands complete asynchronously with
+  // kOutOfRange rather than aborting, so callers exercise the same error
+  // path a failing device would take.
+  Status rejected;
+  if (req.length == 0) {
+    rejected = Status::OutOfRange("zero-length I/O on " + name());
+  } else if (req.offset + req.length > capacity_bytes()) {
+    rejected = Status::OutOfRange(
+        "I/O beyond device capacity on " + name() +
+        ": offset=" + std::to_string(req.offset) +
+        " length=" + std::to_string(req.length) +
+        " capacity=" + std::to_string(capacity_bytes()));
+  }
+  auto wrapped = [this, done = std::move(done), is_read, length = req.length,
+                  req, submit_time](const IoResult& result) {
+    IoResult out = result;
+    out.latency_us = sim_.Now() - submit_time;
+    stats_.RecordComplete(sim_.Now(), is_read, length, out.latency_us,
+                          out.ok());
+    if (observer_) observer_(req, out);
+    done(out);
+  };
+  if (!rejected.ok()) {
+    sim_.ScheduleAfter(0.0, [wrapped = std::move(wrapped),
+                             rejected = std::move(rejected)] {
+      wrapped(IoResult{rejected, 0.0});
+    });
+    return;
+  }
+  SubmitImpl(req, std::move(wrapped));
 }
 
 }  // namespace pioqo::io

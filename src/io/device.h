@@ -3,8 +3,10 @@
 
 #include <coroutine>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "io/device_stats.h"
 #include "io/io_request.h"
 #include "sim/sim_checks.h"
@@ -22,22 +24,32 @@ struct TraceEntry {
 
 /// Abstract simulated block device.
 ///
-/// Subclasses (HddDevice, SsdDevice, RaidDevice) implement `SubmitImpl` to
-/// model service timing; the base class tracks statistics. Devices are
-/// purely *timing* models: data bytes live in `storage::DiskImage`, which
-/// pairs a device with an in-memory page store.
+/// Subclasses (HddDevice, SsdDevice, RaidDevice, FaultInjectingDevice)
+/// implement `SubmitImpl` to model service timing; the base class validates
+/// requests and tracks statistics. Devices are purely *timing* models: data
+/// bytes live in `storage::DiskImage`, which pairs a device with an
+/// in-memory page store.
 ///
 /// All submissions are asynchronous: the completion callback fires at the
 /// simulated instant the request finishes, which is how callers (buffer
 /// pool, calibrator) generate queue depth — the central quantity of the
-/// paper.
+/// paper. Completions carry an `IoResult`; a malformed request (zero length,
+/// beyond capacity) completes asynchronously with `kOutOfRange` instead of
+/// aborting the process.
 class Device {
  public:
+  /// Observes every completion delivered by this device (after stats are
+  /// recorded, before the submitter's callback). Used by
+  /// DeviceHealthMonitor to compare observed latencies against model
+  /// predictions.
+  using CompletionObserver =
+      std::function<void(const IoRequest&, const IoResult&)>;
+
   virtual ~Device() = default;
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
 
-  /// Submits `req`; `done` fires once at completion time.
+  /// Submits `req`; `done` fires once at completion time with the result.
   void Submit(const IoRequest& req, CompletionFn done);
 
   virtual uint64_t capacity_bytes() const = 0;
@@ -51,7 +63,13 @@ class Device {
   /// tracing). The sink must outlive the tracing window.
   void set_trace_sink(std::vector<TraceEntry>* sink) { trace_sink_ = sink; }
 
-  /// Awaitable convenience wrapper: `co_await device.Read(off, len)`.
+  /// Installs `observer` (empty function uninstalls). The observer must
+  /// outlive the device's in-flight requests.
+  void set_completion_observer(CompletionObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Awaitable convenience wrapper: `Status st = co_await device.Read(...)`.
   class IoAwaiter {
    public:
     IoAwaiter(Device& device, IoRequest req) : device_(device), req_(req) {}
@@ -61,16 +79,18 @@ class Device {
       // invariant checker flags the coroutine if it is destroyed while the
       // I/O is still in flight.
       sim::checks::OnResumeScheduled(h.address());
-      device_.Submit(req_, [h] {
+      device_.Submit(req_, [this, h](const IoResult& result) {
+        result_ = result;
         sim::checks::OnBeforeResume(h.address());
         h.resume();
       });
     }
-    void await_resume() const noexcept {}
+    Status await_resume() const noexcept { return result_.status; }
 
    private:
     Device& device_;
     IoRequest req_;
+    IoResult result_;
   };
 
   IoAwaiter Read(uint64_t offset, uint32_t length) {
@@ -84,7 +104,7 @@ class Device {
   explicit Device(sim::Simulator& sim) : sim_(sim) {}
 
   /// Models the device-specific service of `req`; must eventually invoke
-  /// `done` (exactly once) via the simulator.
+  /// `done` (exactly once) via the simulator with the service outcome.
   virtual void SubmitImpl(const IoRequest& req, CompletionFn done) = 0;
 
   sim::Simulator& sim_;
@@ -92,6 +112,7 @@ class Device {
  private:
   DeviceStats stats_;
   std::vector<TraceEntry>* trace_sink_ = nullptr;
+  CompletionObserver observer_;
 };
 
 }  // namespace pioqo::io

@@ -19,11 +19,15 @@ void DeviceStats::RecordSubmit(sim::SimTime now, bool is_read, uint64_t bytes) {
 }
 
 void DeviceStats::RecordComplete(sim::SimTime now, bool is_read, uint64_t bytes,
-                                 double latency_us) {
+                                 double latency_us, bool ok) {
   (void)is_read;
   --outstanding_;
   queue_depth_.Update(now, outstanding_);
-  bytes_completed_ += bytes;
+  if (ok) {
+    bytes_completed_ += bytes;
+  } else {
+    ++errors_;
+  }
   last_completion_ = now;
   latency_.Add(latency_us);
 }

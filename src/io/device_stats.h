@@ -14,11 +14,25 @@ namespace pioqo::io {
 /// outstanding requests (submitted, not yet completed) — the paper's
 /// definition: "the average number of outstanding I/Os in the I/O queue at
 /// any point of time".
+///
+/// The fault-path counters (errors, injected faults, retries, timeouts,
+/// degraded-mode clamps) make failure experiments observable: the injector
+/// records what it injected, the buffer pool records how recovery went, and
+/// the health monitor records when it throttled parallelism.
 class DeviceStats {
  public:
   void RecordSubmit(sim::SimTime now, bool is_read, uint64_t bytes);
+  /// `ok == false` records an errored completion: it balances the
+  /// outstanding count and latency history but does not count toward
+  /// transferred bytes (a failed command moves no data).
   void RecordComplete(sim::SimTime now, bool is_read, uint64_t bytes,
-                      double latency_us);
+                      double latency_us, bool ok = true);
+
+  /// Fault-path accounting.
+  void RecordErrorInjected() { ++errors_injected_; }
+  void RecordRetry() { ++retries_; }
+  void RecordTimeout() { ++timeouts_; }
+  void RecordDegradedClamp() { ++degraded_clamps_; }
 
   /// Forgets all history; the next submit starts a new interval.
   void Reset();
@@ -29,6 +43,17 @@ class DeviceStats {
   uint64_t bytes_written() const { return bytes_written_; }
   int64_t outstanding() const { return outstanding_; }
   const RunningStat& latency_us() const { return latency_; }
+
+  /// Completions that carried a non-OK status (injected or organic).
+  uint64_t errors() const { return errors_; }
+  /// Faults the injector decided to inject (errors + stuck requests).
+  uint64_t errors_injected() const { return errors_injected_; }
+  /// Re-issued attempts after a transient failure (buffer-pool retry path).
+  uint64_t retries() const { return retries_; }
+  /// Per-request deadlines that fired before the completion arrived.
+  uint64_t timeouts() const { return timeouts_; }
+  /// Times the health monitor clamped a scan's parallel degree.
+  uint64_t degraded_clamps() const { return degraded_clamps_; }
 
   /// Time of first submit / last completion in the interval.
   sim::SimTime first_activity() const { return first_activity_; }
@@ -47,6 +72,11 @@ class DeviceStats {
   uint64_t bytes_read_ = 0;
   uint64_t bytes_written_ = 0;
   uint64_t bytes_completed_ = 0;
+  uint64_t errors_ = 0;
+  uint64_t errors_injected_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t timeouts_ = 0;
+  uint64_t degraded_clamps_ = 0;
   int64_t outstanding_ = 0;
   bool active_ = false;
   sim::SimTime first_activity_ = 0.0;

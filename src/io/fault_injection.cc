@@ -1,0 +1,76 @@
+#include "io/fault_injection.h"
+
+#include <utility>
+
+namespace pioqo::io {
+
+const FaultPhase* FaultInjectingDevice::ActivePhase() const {
+  const double now = sim_.Now();
+  for (const FaultPhase& phase : config_.phases) {
+    if (now >= phase.start_us && now < phase.end_us) return &phase;
+  }
+  return nullptr;
+}
+
+void FaultInjectingDevice::SubmitImpl(const IoRequest& req, CompletionFn done) {
+  if (!config_.enabled) {
+    // Zero-cost passthrough: no RNG draw, no extra event.
+    inner_.Submit(req, std::move(done));
+    return;
+  }
+  const FaultPhase* phase = ActivePhase();
+  const double latency_mult = phase != nullptr ? phase->latency_mult : 1.0;
+  const double phase_error = phase != nullptr ? phase->extra_error_prob : 0.0;
+
+  // Exactly three draws per submission, in a fixed order, so the fault
+  // schedule depends only on (seed, submission sequence) — not on which
+  // probabilities happen to be non-zero.
+  const double stuck_roll = rng_.NextDouble();
+  const double error_roll = rng_.NextDouble();
+  const double spike_roll = rng_.NextDouble();
+
+  if (stuck_roll < config_.stuck_prob) {
+    // Swallowed: `done` is dropped and the inner device never sees the
+    // request. Only a caller-side timeout deadline can recover.
+    ++total_injected_;
+    stats().RecordErrorInjected();
+    return;
+  }
+
+  const bool is_read = req.kind == IoRequest::Kind::kRead;
+  const double error_prob =
+      (is_read ? config_.read_error_prob : config_.write_error_prob) +
+      phase_error;
+  if (error_roll < error_prob) {
+    ++total_injected_;
+    stats().RecordErrorInjected();
+    sim_.ScheduleAfter(
+        config_.error_latency_us,
+        [done = std::move(done), dev = inner_.name()] {
+          done(IoResult{
+              Status::IoError("injected transient I/O error on " + dev), 0.0});
+        });
+    return;
+  }
+
+  const double spike_us = spike_roll < config_.spike_prob ? config_.spike_us : 0.0;
+  if (spike_us == 0.0 && latency_mult == 1.0) {
+    inner_.Submit(req, std::move(done));
+    return;
+  }
+  // Served normally, completion delayed: by the spike, and/or by the phase's
+  // latency stretch (mult - 1 times the observed inner service time).
+  const double submit_time = sim_.Now();
+  inner_.Submit(req, [this, done = std::move(done), submit_time, spike_us,
+                      latency_mult](const IoResult& result) {
+    const double service = sim_.Now() - submit_time;
+    const double delay = spike_us + service * (latency_mult - 1.0);
+    if (delay <= 0.0) {
+      done(result);
+      return;
+    }
+    sim_.ScheduleAfter(delay, [done, result] { done(result); });
+  });
+}
+
+}  // namespace pioqo::io

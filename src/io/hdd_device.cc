@@ -86,7 +86,7 @@ void HddDevice::StartService(Pending p) {
   head_pos_ = p.req.offset + p.req.length;
   sim_.ScheduleAfter(service, [this, done = std::move(p.done)] {
     busy_ = false;
-    done();
+    done(IoResult{});
     StartNext();
   });
 }

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/status.h"
+
 namespace pioqo::io {
 
 /// One asynchronous block-device command. Offsets and lengths are in bytes;
@@ -17,8 +19,23 @@ struct IoRequest {
   uint32_t length = 0;
 };
 
-/// Invoked exactly once, at the simulated instant the request completes.
-using CompletionFn = std::function<void()>;
+/// Outcome of one device command. Real devices stutter, time out and fail;
+/// carrying success-or-error through every completion is what lets the upper
+/// layers (buffer pool, operators, executor) retry transient faults and fail
+/// queries cleanly instead of silently assuming success.
+struct IoResult {
+  Status status;
+  /// Simulated submit-to-completion latency, filled in by `Device::Submit`.
+  double latency_us = 0.0;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Invoked exactly once, at the simulated instant the request completes
+/// (successfully or with an error). A request swallowed by a fault injector
+/// as "stuck" is the single exception: its completion never fires, and the
+/// caller's timeout deadline is responsible for recovery.
+using CompletionFn = std::function<void(const IoResult&)>;
 
 }  // namespace pioqo::io
 

@@ -25,9 +25,15 @@ RaidDevice::RaidDevice(sim::Simulator& sim, int num_members, HddGeometry member,
 
 void RaidDevice::SubmitImpl(const IoRequest& req, CompletionFn done) {
   // Split at chunk boundaries and fan out to members. The shared counter
-  // fires the completion when the last piece lands.
-  auto remaining = std::make_shared<int>(0);
-  auto shared_done = std::make_shared<CompletionFn>(std::move(done));
+  // fires the completion when the last piece lands; if any member piece
+  // fails, the request as a whole fails with the first member error.
+  struct Join {
+    int remaining = 0;
+    Status first_error;
+    CompletionFn done;
+  };
+  auto join = std::make_shared<Join>();
+  join->done = std::move(done);
 
   uint64_t offset = req.offset;
   uint64_t left = req.length;
@@ -51,12 +57,17 @@ void RaidDevice::SubmitImpl(const IoRequest& req, CompletionFn done) {
     offset += bytes;
     left -= bytes;
   }
-  *remaining = static_cast<int>(pieces.size());
+  join->remaining = static_cast<int>(pieces.size());
   for (const Piece& p : pieces) {
     members_[static_cast<size_t>(p.member)]->Submit(
         IoRequest{req.kind, p.member_offset, p.bytes},
-        [remaining, shared_done] {
-          if (--*remaining == 0) (*shared_done)();
+        [join](const IoResult& piece_result) {
+          if (!piece_result.ok() && join->first_error.ok()) {
+            join->first_error = piece_result.status;
+          }
+          if (--join->remaining == 0) {
+            join->done(IoResult{join->first_error, 0.0});
+          }
         });
   }
 }

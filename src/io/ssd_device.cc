@@ -139,7 +139,7 @@ void SsdDevice::FinishChunk(Command* cmd) {
   }
   CompletionFn done = std::move(cmd->done);
   delete cmd;
-  done();
+  done(IoResult{});
 }
 
 }  // namespace pioqo::io

@@ -43,13 +43,33 @@ void Simulator::ScheduleAfter(double delay, Callback cb) {
   ScheduleAt(now_ + delay, std::move(cb));
 }
 
+uint64_t Simulator::ScheduleCancellableAfter(double delay, Callback cb) {
+  PIOQO_CHECK(delay >= 0.0) << "negative or NaN delay " << delay;
+  const uint64_t token = next_seq_;  // ScheduleAt consumes this seq
+  cancellable_.insert(token);
+  ScheduleAt(now_ + delay, std::move(cb));
+  return token;
+}
+
+bool Simulator::Cancel(uint64_t token) {
+  if (cancellable_.erase(token) == 0) return false;
+  cancelled_.insert(token);
+  return true;
+}
+
 bool Simulator::Step() {
+  // Lazily drop cancelled events: they neither run nor advance the clock
+  // nor enter the trace hash.
+  while (!queue_.empty() && cancelled_.erase(queue_.top().seq) > 0) {
+    queue_.pop();
+  }
   if (queue_.empty()) return false;
   // priority_queue::top() is const; the callback is moved out via a copy of
   // the shared_ptr-like std::function, then the event is popped before the
   // callback runs so that the callback may schedule new events freely.
   Event ev = queue_.top();
   queue_.pop();
+  cancellable_.erase(ev.seq);
   now_ = ev.time;
   ++executed_;
   uint64_t time_bits = 0;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace pioqo::sim {
@@ -38,6 +39,19 @@ class Simulator {
   /// Schedules `cb` to run `delay` microseconds from now (delay >= 0).
   void ScheduleAfter(double delay, Callback cb);
 
+  /// Schedules a *cancellable* event (used for I/O timeout deadlines) and
+  /// returns a token for `Cancel`. A cancelled event is skipped when it
+  /// reaches the head of the queue: it does not run, does not advance the
+  /// clock, and does not enter the trace hash — so a deadline that is
+  /// cancelled because the guarded I/O completed in time leaves the run
+  /// bit-identical to one where no deadline was ever armed.
+  uint64_t ScheduleCancellableAfter(double delay, Callback cb);
+
+  /// Cancels a pending cancellable event. Returns true if the event was
+  /// still pending (and is now guaranteed never to run), false if it
+  /// already fired or was already cancelled.
+  bool Cancel(uint64_t token);
+
   /// Runs events until the queue is empty. Returns the final clock value.
   SimTime Run();
 
@@ -47,7 +61,7 @@ class Simulator {
   /// Executes the single earliest event; returns false if none pending.
   bool Step();
 
-  size_t num_pending() const { return queue_.size(); }
+  size_t num_pending() const { return queue_.size() - cancelled_.size(); }
   uint64_t num_executed() const { return executed_; }
 
   /// Order-sensitive hash over every executed event's (time, seq) pair.
@@ -75,6 +89,10 @@ class Simulator {
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
   uint64_t trace_hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+  /// Tokens (== seq numbers) of cancellable events still in the queue.
+  std::unordered_set<uint64_t> cancellable_;
+  /// Cancelled-but-not-yet-popped events, skipped lazily by Step().
+  std::unordered_set<uint64_t> cancelled_;
 };
 
 }  // namespace pioqo::sim

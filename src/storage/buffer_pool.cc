@@ -1,15 +1,36 @@
 #include "storage/buffer_pool.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "common/logging.h"
 #include "sim/sim_checks.h"
 
 namespace pioqo::storage {
 
-BufferPool::BufferPool(DiskImage& disk, uint32_t capacity_pages)
-    : disk_(disk), capacity_(capacity_pages) {
+BufferPool::BufferPool(DiskImage& disk, uint32_t capacity_pages,
+                       BufferPoolOptions options)
+    : disk_(disk),
+      capacity_(capacity_pages),
+      options_(options),
+      retry_rng_(options.retry_seed) {
   PIOQO_CHECK(capacity_pages >= 2);
+}
+
+BufferPool::FetchAwaiter::~FetchAwaiter() {
+  // Self-unregistration: if the waiting coroutine is destroyed before the
+  // load resolves, drop out of the frame's waiter list and release the
+  // suspend-time pin so the frame can still be evicted later.
+  if (!registered_) return;
+  auto it = pool_.frames_.find(pid_);
+  if (it == pool_.frames_.end()) return;
+  Frame& f = it->second;
+  auto w = std::find(f.waiters.begin(), f.waiters.end(), this);
+  if (w == f.waiters.end()) return;
+  f.waiters.erase(w);
+  sim::checks::OnWaiterUnregistered(handle_.address());
+  if (f.pin_count > 0) --f.pin_count;
 }
 
 bool BufferPool::FetchAwaiter::await_ready() {
@@ -30,24 +51,39 @@ bool BufferPool::FetchAwaiter::await_ready() {
   return false;
 }
 
-void BufferPool::FetchAwaiter::await_suspend(std::coroutine_handle<> h) {
+bool BufferPool::FetchAwaiter::await_suspend(std::coroutine_handle<> h) {
   ++pool_.stats_.misses;
   auto it = pool_.frames_.find(pid_);
   if (it == pool_.frames_.end()) {
-    pool_.StartRead(pid_, 1, /*prefetch=*/false);
+    Status st = pool_.StartRead(pid_, 1, /*prefetch=*/false);
+    if (!st.ok()) {
+      // No frame available: resolve immediately with the error instead of
+      // suspending (the old pool aborted the process here).
+      ++pool_.stats_.fetch_errors;
+      status_ = std::move(st);
+      return false;
+    }
     it = pool_.frames_.find(pid_);
   } else {
     ++pool_.stats_.joined_inflight;
   }
   PIOQO_CHECK(it->second.state == FrameState::kLoading);
+  handle_ = h;
+  registered_ = true;
   sim::checks::OnWaiterRegistered(h.address());
-  it->second.waiters.push_back(h);
+  it->second.waiters.push_back(this);
   // Pin at suspend time: a waiter resumed earlier could otherwise evict the
   // page (via its own fetches) before this waiter runs.
   ++it->second.pin_count;
+  return true;
 }
 
 BufferPool::PageRef BufferPool::FetchAwaiter::await_resume() {
+  if (!status_.ok()) {
+    // Failed load: the loading frame (and with it this fetch's pin) is
+    // already gone; the caller must not Unpin.
+    return PageRef{nullptr, false, status_};
+  }
   auto it = pool_.frames_.find(pid_);
   PIOQO_CHECK(it != pool_.frames_.end() &&
               it->second.state == FrameState::kReady)
@@ -55,7 +91,7 @@ BufferPool::PageRef BufferPool::FetchAwaiter::await_resume() {
   Frame& f = it->second;
   // Hit path pinned in await_ready; miss path pinned in await_suspend.
   PIOQO_CHECK(f.pin_count > 0);
-  return PageRef{f.data, was_hit_};
+  return PageRef{f.data, was_hit_, Status::OK()};
 }
 
 void BufferPool::Unpin(PageId pid) {
@@ -69,7 +105,8 @@ void BufferPool::Unpin(PageId pid) {
 void BufferPool::Prefetch(PageId pid) {
   ++stats_.prefetch_issued;
   if (frames_.contains(pid)) return;  // resident or already in flight
-  StartRead(pid, 1, /*prefetch=*/true);
+  Status st = StartRead(pid, 1, /*prefetch=*/true);
+  (void)st;  // prefetch is best-effort; drops are counted in stats
 }
 
 void BufferPool::PrefetchBlock(PageId first, uint32_t count) {
@@ -84,7 +121,8 @@ void BufferPool::PrefetchBlock(PageId first, uint32_t count) {
       run_start = i;
       in_run = true;
     } else if (!absent && in_run) {
-      StartRead(first + run_start, i - run_start, /*prefetch=*/true);
+      Status st = StartRead(first + run_start, i - run_start, /*prefetch=*/true);
+      (void)st;
       in_run = false;
     }
   }
@@ -113,63 +151,200 @@ uint32_t BufferPool::ResidentInRange(PageId first, uint32_t count) const {
   return resident;
 }
 
-void BufferPool::Clear() {
-  for (auto& [pid, f] : frames_) {
-    PIOQO_CHECK(f.pin_count == 0) << "Clear() with pinned page " << pid;
-    PIOQO_CHECK(f.state == FrameState::kReady)
-        << "Clear() with in-flight page " << pid;
+Status BufferPool::Clear() {
+  for (const auto& [pid, f] : frames_) {
+    if (f.pin_count > 0) {
+      return Status::FailedPrecondition("Clear() with pinned page " +
+                                        std::to_string(pid));
+    }
+    if (f.state != FrameState::kReady) {
+      return Status::FailedPrecondition("Clear() with in-flight page " +
+                                        std::to_string(pid));
+    }
   }
   frames_.clear();
   lru_.clear();
+  return Status::OK();
 }
 
-void BufferPool::EnsureCapacity() {
-  if (frames_.size() < capacity_) return;
-  PIOQO_CHECK(!lru_.empty())
-      << "buffer pool exhausted: all " << capacity_
-      << " frames pinned or loading";
+bool BufferPool::EnsureCapacity() {
+  if (frames_.size() < capacity_) return true;
+  if (lru_.empty()) return false;  // every frame pinned or loading
   const PageId victim = lru_.back();
   lru_.pop_back();
   auto it = frames_.find(victim);
   PIOQO_CHECK(it != frames_.end());
   frames_.erase(it);
   ++stats_.evictions;
+  return true;
 }
 
-void BufferPool::StartRead(PageId first, uint32_t count, bool prefetch) {
+Status BufferPool::StartRead(PageId first, uint32_t count, bool prefetch) {
   PIOQO_CHECK(count >= 1);
+  uint32_t created = 0;
   for (uint32_t i = 0; i < count; ++i) {
-    EnsureCapacity();
+    if (!EnsureCapacity()) break;
     Frame f;
     f.pid = first + i;
     f.state = FrameState::kLoading;
     f.from_prefetch = prefetch;
     frames_.emplace(first + i, std::move(f));
+    ++created;
+  }
+  if (created < count) {
+    if (!prefetch) {
+      // A fetch reads exactly one page, so created == 0 here: nothing to
+      // undo.
+      return Status::ResourceExhausted(
+          "buffer pool exhausted: all " + std::to_string(capacity_) +
+          " frames pinned or loading (fetching page " + std::to_string(first) +
+          ")");
+    }
+    // Best-effort prefetch: read the pages we found frames for, drop the
+    // rest.
+    stats_.prefetch_dropped += count - created;
+    if (created == 0) return Status::OK();
+    count = created;
   }
   ++stats_.device_reads;
   stats_.pages_read += count;
   if (prefetch) stats_.prefetch_read += count;
-  disk_.device().Submit(
-      io::IoRequest{io::IoRequest::Kind::kRead, disk_.OffsetOf(first),
-                    count * kPageSize},
-      [this, first, count] { OnReadComplete(first, count); });
+  const uint64_t read_id = next_read_id_++;
+  inflight_.emplace(read_id,
+                    InflightRead{first, count, prefetch, /*attempt=*/1,
+                                 /*has_deadline=*/false, /*deadline_token=*/0});
+  IssueAttempt(read_id);
+  return Status::OK();
 }
 
-void BufferPool::OnReadComplete(PageId first, uint32_t count) {
+void BufferPool::IssueAttempt(uint64_t read_id) {
+  auto it = inflight_.find(read_id);
+  PIOQO_CHECK(it != inflight_.end());
+  InflightRead& r = it->second;
+  const int attempt = r.attempt;
+  if (options_.retry.timeout_us > 0.0) {
+    // The deadline is the only recovery path for a stuck request (whose
+    // completion never fires). Cancellable: when the read completes in
+    // time, the cancelled deadline never executes and leaves no trace.
+    r.has_deadline = true;
+    r.deadline_token = disk_.device().simulator().ScheduleCancellableAfter(
+        options_.retry.timeout_us,
+        [this, read_id, attempt] { OnDeadline(read_id, attempt); });
+  }
+  disk_.device().Submit(
+      io::IoRequest{io::IoRequest::Kind::kRead, disk_.OffsetOf(r.first),
+                    r.count * kPageSize},
+      [this, read_id, attempt](const io::IoResult& result) {
+        OnReadComplete(read_id, attempt, result.status);
+      });
+}
+
+void BufferPool::OnReadComplete(uint64_t read_id, int attempt,
+                                const Status& status) {
+  auto it = inflight_.find(read_id);
+  if (it == inflight_.end() || it->second.attempt != attempt) {
+    // Stale completion: this attempt already timed out (and was retried or
+    // failed). The data itself lives in the DiskImage, so discarding the
+    // late completion loses nothing.
+    return;
+  }
+  InflightRead& r = it->second;
+  if (r.has_deadline) {
+    disk_.device().simulator().Cancel(r.deadline_token);
+    r.has_deadline = false;
+  }
+  if (!status.ok()) {
+    HandleFailure(read_id, status);
+    return;
+  }
+  const PageId first = r.first;
+  const uint32_t count = r.count;
+  inflight_.erase(it);
   for (uint32_t i = 0; i < count; ++i) {
-    auto it = frames_.find(first + i);
-    PIOQO_CHECK(it != frames_.end() && it->second.state == FrameState::kLoading);
-    Frame& f = it->second;
+    auto fit = frames_.find(first + i);
+    PIOQO_CHECK(fit != frames_.end() &&
+                fit->second.state == FrameState::kLoading);
+    Frame& f = fit->second;
     f.state = FrameState::kReady;
     f.data = disk_.PageData(first + i);
     if (f.pin_count == 0) AddToLru(f);  // waiters already hold pins
-    std::vector<std::coroutine_handle<>> waiters;
+    std::vector<FetchAwaiter*> waiters;
     waiters.swap(f.waiters);
-    for (auto h : waiters) {
-      sim::checks::OnWaiterUnregistered(h.address());
-      sim::checks::OnBeforeResume(h.address());
-      h.resume();
+    for (FetchAwaiter* w : waiters) {
+      w->registered_ = false;
+      sim::checks::OnWaiterUnregistered(w->handle_.address());
+      sim::checks::OnBeforeResume(w->handle_.address());
+      w->handle_.resume();
     }
+  }
+}
+
+void BufferPool::OnDeadline(uint64_t read_id, int attempt) {
+  auto it = inflight_.find(read_id);
+  if (it == inflight_.end() || it->second.attempt != attempt) return;
+  InflightRead& r = it->second;
+  r.has_deadline = false;  // this deadline just fired
+  ++stats_.timeouts;
+  disk_.device().stats().RecordTimeout();
+  // Bumping `attempt` in the retry path (or erasing the entry in the fail
+  // path) makes any late completion of this attempt stale.
+  HandleFailure(read_id,
+                Status::IoError("page read timed out after " +
+                                std::to_string(options_.retry.timeout_us) +
+                                "us (pages " + std::to_string(r.first) + "+" +
+                                std::to_string(r.count) + ")"));
+}
+
+void BufferPool::HandleFailure(uint64_t read_id, const Status& status) {
+  auto it = inflight_.find(read_id);
+  PIOQO_CHECK(it != inflight_.end());
+  InflightRead& r = it->second;
+  // Only kIoError is transient; kOutOfRange (malformed request) would fail
+  // identically on every attempt.
+  const bool retryable = status.code() == StatusCode::kIoError;
+  if (retryable && r.attempt < options_.retry.max_attempts) {
+    ++stats_.retries;
+    disk_.device().stats().RecordRetry();
+    const double backoff = options_.retry.BackoffUs(r.attempt, retry_rng_);
+    ++r.attempt;
+    disk_.device().simulator().ScheduleAfter(
+        backoff, [this, read_id] { IssueAttempt(read_id); });
+    return;
+  }
+  FailRead(read_id, status);
+}
+
+void BufferPool::FailRead(uint64_t read_id, const Status& status) {
+  auto it = inflight_.find(read_id);
+  PIOQO_CHECK(it != inflight_.end());
+  const PageId first = it->second.first;
+  const uint32_t count = it->second.count;
+  inflight_.erase(it);
+  ++stats_.failed_loads;
+  // Drop every loading frame *before* resuming any waiter: a resumed
+  // coroutine that immediately re-fetches the page must start a fresh read,
+  // and the suspend-time pins die with their frames (a failed fetch is
+  // never Unpinned).
+  std::vector<FetchAwaiter*> waiters;
+  for (uint32_t i = 0; i < count; ++i) {
+    auto fit = frames_.find(first + i);
+    PIOQO_CHECK(fit != frames_.end() &&
+                fit->second.state == FrameState::kLoading);
+    for (FetchAwaiter* w : fit->second.waiters) waiters.push_back(w);
+    frames_.erase(fit);
+  }
+  stats_.fetch_errors += waiters.size();
+  // Mark every waiter resolved before resuming the first one, so a resumed
+  // coroutine that tears down a sibling (whose awaiter then self-
+  // unregisters) sees consistent state.
+  for (FetchAwaiter* w : waiters) {
+    w->registered_ = false;
+    w->status_ = status;
+    sim::checks::OnWaiterUnregistered(w->handle_.address());
+  }
+  for (FetchAwaiter* w : waiters) {
+    sim::checks::OnBeforeResume(w->handle_.address());
+    w->handle_.resume();
   }
 }
 

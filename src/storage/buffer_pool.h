@@ -7,6 +7,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.h"
+#include "common/status.h"
+#include "io/retry_policy.h"
 #include "storage/disk_image.h"
 #include "storage/page.h"
 
@@ -21,8 +24,23 @@ struct BufferPoolStats {
   uint64_t evictions = 0;
   uint64_t prefetch_issued = 0;   // pages requested by Prefetch/PrefetchBlock
   uint64_t prefetch_read = 0;     // pages actually read by prefetch I/O
+  uint64_t prefetch_dropped = 0;  // prefetch pages skipped for lack of frames
   uint64_t device_reads = 0;      // device read *requests* (a block counts 1)
   uint64_t pages_read = 0;        // pages brought in from the device
+  uint64_t retries = 0;           // device reads re-issued after failure
+  uint64_t timeouts = 0;          // attempts abandoned by the deadline
+  uint64_t failed_loads = 0;      // reads that exhausted every attempt
+  uint64_t fetch_errors = 0;      // fetches resolved with a non-OK status
+};
+
+/// Retry/timeout configuration for the pool's device reads. The defaults
+/// are inert (one attempt, no deadline): an inert pool draws no random
+/// numbers and arms no deadline events, so its trace_hash is bit-identical
+/// to a pool built before fault handling existed.
+struct BufferPoolOptions {
+  io::RetryPolicy retry;
+  /// Seed for the backoff-jitter RNG (only drawn when a retry happens).
+  uint64_t retry_seed = 0x5eedf00dULL;
 };
 
 /// A fixed-capacity LRU buffer pool over one `DiskImage`, with asynchronous
@@ -31,47 +49,75 @@ struct BufferPoolStats {
 /// one of the two parameters that determine the break-even point, Sec. 2).
 ///
 /// Concurrency model: single simulated timeline. Workers `co_await
-/// pool.Fetch(pid)`, which resumes them (with the page pinned) once the page
-/// is resident; concurrent fetches of an in-flight page join its waiter
-/// list. `Unpin` must be called exactly once per successful fetch.
+/// pool.Fetch(pid)`, which resumes them once the fetch *resolves*: either
+/// the page is resident (and pinned for the caller), or the load failed and
+/// the returned `PageRef` carries the error. Concurrent fetches of an
+/// in-flight page join its waiter list; a failed load resumes every waiter
+/// with the same error. `Unpin` must be called exactly once per successful
+/// fetch — and never for a failed one.
 ///
-/// Eviction: least-recently-used unpinned resident page. The pool aborts if
-/// every frame is pinned or loading (callers must size the pool above the
-/// maximum number of simultaneously pinned pages — the operators pin at most
-/// one table page plus one index page per worker).
+/// Failure handling: a device read that completes with a transient error
+/// (or exceeds the per-attempt deadline, which is the only way to recover
+/// from a stuck request whose completion never fires) is retried up to
+/// `RetryPolicy::max_attempts` times with exponential backoff and
+/// deterministic jitter. When every attempt fails, the loading frames are
+/// dropped and all waiters resume with the error.
+///
+/// Eviction: least-recently-used unpinned resident page. When every frame
+/// is pinned or loading, a fetch resolves with `kResourceExhausted` (and a
+/// prefetch is silently dropped) instead of aborting the process.
 class BufferPool {
  public:
-  BufferPool(DiskImage& disk, uint32_t capacity_pages);
+  BufferPool(DiskImage& disk, uint32_t capacity_pages,
+             BufferPoolOptions options = {});
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Result of a fetch: stable pointer to the resident page bytes.
+  /// Result of a fetch. On success `data` is a stable pointer to the
+  /// resident page bytes and the page is pinned; on failure `data` is null,
+  /// `status` carries the error, and the page is *not* pinned.
   struct PageRef {
     const char* data = nullptr;
     bool was_hit = false;
+    Status status;
+    bool ok() const { return status.ok(); }
   };
 
   class FetchAwaiter {
    public:
     FetchAwaiter(BufferPool& pool, PageId pid) : pool_(pool), pid_(pid) {}
+    /// Self-unregisters (and releases the suspend-time pin) if the waiting
+    /// coroutine is destroyed before the load resolves.
+    ~FetchAwaiter();
+    FetchAwaiter(const FetchAwaiter&) = delete;
+    FetchAwaiter& operator=(const FetchAwaiter&) = delete;
+
     bool await_ready();
-    void await_suspend(std::coroutine_handle<> h);
+    /// Returns false (resume immediately) when the fetch resolves without
+    /// I/O — which now includes the kResourceExhausted path.
+    bool await_suspend(std::coroutine_handle<> h);
     PageRef await_resume();
 
    private:
+    friend class BufferPool;
     BufferPool& pool_;
     PageId pid_;
+    std::coroutine_handle<> handle_;
+    Status status_;
     bool was_hit_ = false;
+    bool registered_ = false;  // currently in a frame's waiter list
   };
 
-  /// Awaitable: resumes when page `pid` is resident; pins it.
+  /// Awaitable: resumes when the fetch of page `pid` resolves (success or
+  /// failure — check `PageRef::ok()`).
   FetchAwaiter Fetch(PageId pid) { return FetchAwaiter(*this, pid); }
 
-  /// Releases one pin taken by Fetch.
+  /// Releases one pin taken by a *successful* Fetch.
   void Unpin(PageId pid);
 
   /// Starts an asynchronous read of `pid` if it is neither resident nor in
-  /// flight; never blocks the caller. The page lands unpinned.
+  /// flight; never blocks the caller. The page lands unpinned. Best-effort:
+  /// dropped (counted in stats) when no frame is available.
   void Prefetch(PageId pid);
 
   /// Starts one device read covering pages [first, first+count) that are not
@@ -89,9 +135,10 @@ class BufferPool {
   /// statistics on how many table and index pages are currently cached").
   uint32_t ResidentInRange(PageId first, uint32_t count) const;
 
-  /// Drops every unpinned frame (simulates flushing the cache between
-  /// experiments). Aborts if any page is pinned or in flight.
-  void Clear();
+  /// Drops every unpinned resident frame (simulates flushing the cache
+  /// between experiments). Returns kFailedPrecondition — without dropping
+  /// anything — if any page is still pinned or in flight.
+  Status Clear();
 
   uint32_t capacity() const { return capacity_; }
   uint32_t resident_pages() const { return static_cast<uint32_t>(frames_.size()); }
@@ -99,6 +146,7 @@ class BufferPool {
   void ResetStats() { stats_ = BufferPoolStats{}; }
 
   DiskImage& disk() { return disk_; }
+  const io::RetryPolicy& retry_policy() const { return options_.retry; }
 
  private:
   enum class FrameState { kLoading, kReady };
@@ -109,25 +157,53 @@ class BufferPool {
     const char* data = nullptr;
     uint32_t pin_count = 0;
     bool from_prefetch = false;
-    std::vector<std::coroutine_handle<>> waiters;
+    std::vector<FetchAwaiter*> waiters;
     // Valid only when state == kReady and pin_count == 0.
     std::list<PageId>::iterator lru_it;
     bool in_lru = false;
   };
 
+  /// One outstanding device read (possibly spanning several pages), tracked
+  /// across retries. `attempt` versions the completion callbacks: a
+  /// completion or deadline carrying a stale attempt number is ignored,
+  /// which is how a late completion of a timed-out attempt is discarded.
+  struct InflightRead {
+    PageId first = kInvalidPageId;
+    uint32_t count = 0;
+    bool prefetch = false;
+    int attempt = 1;
+    bool has_deadline = false;
+    uint64_t deadline_token = 0;
+  };
+
   /// Makes room for one more frame, evicting the LRU unpinned page if at
-  /// capacity (counting in-flight frames against capacity).
-  void EnsureCapacity();
-  /// Starts a device read covering [first, first+count) and creates loading
-  /// frames for each page.
-  void StartRead(PageId first, uint32_t count, bool prefetch);
-  void OnReadComplete(PageId first, uint32_t count);
+  /// capacity (counting in-flight frames against capacity). Returns false
+  /// when every frame is pinned or loading.
+  bool EnsureCapacity();
+  /// Creates loading frames for [first, first+count) and issues the device
+  /// read. For a fetch (count == 1, !prefetch) fails with
+  /// kResourceExhausted when no frame is free; for a prefetch the block is
+  /// truncated to the frames available (possibly to nothing).
+  Status StartRead(PageId first, uint32_t count, bool prefetch);
+  /// Submits the device read for the inflight entry's current attempt and
+  /// arms the deadline if the retry policy has one.
+  void IssueAttempt(uint64_t read_id);
+  void OnReadComplete(uint64_t read_id, int attempt, const Status& status);
+  void OnDeadline(uint64_t read_id, int attempt);
+  /// Retries (after backoff) or, when attempts are exhausted, fails the
+  /// read: drops its loading frames and resumes all waiters with `status`.
+  void HandleFailure(uint64_t read_id, const Status& status);
+  void FailRead(uint64_t read_id, const Status& status);
   void AddToLru(Frame& frame);
   void RemoveFromLru(Frame& frame);
 
   DiskImage& disk_;
   const uint32_t capacity_;
+  BufferPoolOptions options_;
+  Pcg32 retry_rng_;
   std::unordered_map<PageId, Frame> frames_;
+  std::unordered_map<uint64_t, InflightRead> inflight_;
+  uint64_t next_read_id_ = 1;
   std::list<PageId> lru_;  // front = most recent
   BufferPoolStats stats_;
 };

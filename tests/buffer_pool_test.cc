@@ -181,8 +181,55 @@ TEST_F(BufferPoolTest, ClearDropsEverything) {
   worker();
   sim_.Run();
   EXPECT_TRUE(pool.IsResident(1));
-  pool.Clear();
+  EXPECT_TRUE(pool.Clear().ok());
   EXPECT_FALSE(pool.IsResident(1));
+  EXPECT_EQ(pool.resident_pages(), 0u);
+}
+
+TEST_F(BufferPoolTest, FetchWithEveryFramePinnedFailsCleanly) {
+  // Satellite: a pool whose frames are all pinned reports kResourceExhausted
+  // through the PageRef instead of aborting the process.
+  BufferPool pool(disk_, 4);
+  Status overflow = Status::OK();
+  bool still_works = false;
+  auto worker = [&]() -> sim::Task {
+    for (PageId p = 0; p < 4; ++p) co_await pool.Fetch(p);  // all pinned
+    auto ref = co_await pool.Fetch(50);
+    overflow = ref.status;
+    EXPECT_FALSE(ref.ok());
+    // The failed fetch must not leak a pin or a frame: releasing one page
+    // makes the pool usable again.
+    pool.Unpin(0);
+    auto again = co_await pool.Fetch(50);
+    still_works = again.ok();
+    pool.Unpin(50);
+    for (PageId p = 1; p < 4; ++p) pool.Unpin(p);
+  };
+  worker();
+  sim_.Run();
+  EXPECT_EQ(overflow.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(still_works);
+  EXPECT_EQ(pool.stats().fetch_errors, 1u);
+}
+
+TEST_F(BufferPoolTest, ClearReportsPinnedAndInflightPages) {
+  BufferPool pool(disk_, 10);
+  auto pin_worker = [&]() -> sim::Task {
+    co_await pool.Fetch(1);  // left pinned on purpose
+  };
+  pin_worker();
+  sim_.Run();
+  Status pinned = pool.Clear();
+  EXPECT_EQ(pinned.code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(pool.IsResident(1));  // a failed Clear drops nothing
+  pool.Unpin(1);
+
+  // An in-flight load likewise blocks Clear instead of crashing it.
+  pool.Prefetch(7);
+  Status inflight = pool.Clear();
+  EXPECT_EQ(inflight.code(), StatusCode::kFailedPrecondition);
+  sim_.Run();
+  EXPECT_TRUE(pool.Clear().ok());
   EXPECT_EQ(pool.resident_pages(), 0u);
 }
 

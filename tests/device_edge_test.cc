@@ -23,10 +23,10 @@ TEST(SsdReadaheadTest, SequentialContinuationIsFast) {
   // First read pays the flash path; the exact continuation rides readahead.
   double first_done = 0, second_done = 0;
   ssd.Submit(IoRequest{IoRequest::Kind::kRead, 0, 4096},
-             [&] { first_done = sim.Now(); });
+             [&](const IoResult&) { first_done = sim.Now(); });
   sim.Run();
   ssd.Submit(IoRequest{IoRequest::Kind::kRead, 4096, 4096},
-             [&] { second_done = sim.Now(); });
+             [&](const IoResult&) { second_done = sim.Now(); });
   sim.Run();
   const double first_latency = first_done;
   const double second_latency = second_done - first_done;
@@ -36,11 +36,12 @@ TEST(SsdReadaheadTest, SequentialContinuationIsFast) {
 TEST(SsdReadaheadTest, NonContiguousReadBreaksReadahead) {
   sim::Simulator sim;
   SsdDevice ssd(sim, SsdGeometry::ConsumerPcie());
-  ssd.Submit(IoRequest{IoRequest::Kind::kRead, 0, 4096}, [] {});
+  ssd.Submit(IoRequest{IoRequest::Kind::kRead, 0, 4096}, [](const IoResult&) {});
   sim.Run();
   double t0 = sim.Now();
   // A gap: full flash latency again.
-  ssd.Submit(IoRequest{IoRequest::Kind::kRead, 1 << 20, 4096}, [] {});
+  ssd.Submit(IoRequest{IoRequest::Kind::kRead, 1 << 20, 4096},
+             [](const IoResult&) {});
   sim.Run();
   EXPECT_GT(sim.Now() - t0, ssd.geometry().unit_read_us * 0.8);
 }
@@ -71,14 +72,14 @@ TEST(HddNcqTest, ReorderingServesNearbyRequestFirst) {
   HddDevice hdd(sim, HddGeometry::Commodity7200());
   std::vector<int> completion_order;
   // Prime the head at offset 0, then queue far-then-near while busy.
-  hdd.Submit(IoRequest{IoRequest::Kind::kRead, 0, 4096}, [&] {
+  hdd.Submit(IoRequest{IoRequest::Kind::kRead, 0, 4096}, [&](const IoResult&) {
     completion_order.push_back(0);
   });
   hdd.Submit(IoRequest{IoRequest::Kind::kRead, hdd.capacity_bytes() - 4096,
                        4096},
-             [&] { completion_order.push_back(1); });
+             [&](const IoResult&) { completion_order.push_back(1); });
   hdd.Submit(IoRequest{IoRequest::Kind::kRead, 8192, 4096},
-             [&] { completion_order.push_back(2); });
+             [&](const IoResult&) { completion_order.push_back(2); });
   sim.Run();
   // The near request (2) jumps ahead of the far one (1).
   EXPECT_EQ(completion_order, (std::vector<int>{0, 2, 1}));
@@ -91,12 +92,12 @@ TEST(HddNcqTest, WindowLimitsReordering) {
   HddDevice hdd(sim, geometry, "fifo-hdd");
   std::vector<int> completion_order;
   hdd.Submit(IoRequest{IoRequest::Kind::kRead, 0, 4096},
-             [&] { completion_order.push_back(0); });
+             [&](const IoResult&) { completion_order.push_back(0); });
   hdd.Submit(IoRequest{IoRequest::Kind::kRead, hdd.capacity_bytes() - 4096,
                        4096},
-             [&] { completion_order.push_back(1); });
+             [&](const IoResult&) { completion_order.push_back(1); });
   hdd.Submit(IoRequest{IoRequest::Kind::kRead, 8192, 4096},
-             [&] { completion_order.push_back(2); });
+             [&](const IoResult&) { completion_order.push_back(2); });
   sim.Run();
   EXPECT_EQ(completion_order, (std::vector<int>{0, 1, 2}));  // strict FIFO
 }
@@ -107,7 +108,7 @@ TEST(RaidTest, LargeRequestSpansAllMembers) {
   int completions = 0;
   // 4 chunks x 64 KiB = one chunk per member.
   raid.Submit(IoRequest{IoRequest::Kind::kRead, 0, 4 * 64 * 1024},
-              [&] { ++completions; });
+              [&](const IoResult&) { ++completions; });
   sim.Run();
   EXPECT_EQ(completions, 1);
   for (int m = 0; m < 4; ++m) {
@@ -122,7 +123,7 @@ TEST(DeviceStatsTest, LatencyAndQueueDepthAccounting) {
   for (int i = 0; i < 4; ++i) {
     ssd.Submit(IoRequest{IoRequest::Kind::kRead,
                          static_cast<uint64_t>(i) * (8 << 20), 4096},
-               [&] { done.CountDown(); });
+               [&](const IoResult&) { done.CountDown(); });
   }
   sim.Run();
   EXPECT_TRUE(done.done());
@@ -139,11 +140,14 @@ TEST(DeviceTraceTest, SinkReceivesExactlySubmittedRequests) {
   SsdDevice ssd(sim, SsdGeometry::ConsumerPcie());
   std::vector<TraceEntry> trace;
   ssd.set_trace_sink(&trace);
-  ssd.Submit(IoRequest{IoRequest::Kind::kRead, 4096, 8192}, [] {});
-  ssd.Submit(IoRequest{IoRequest::Kind::kWrite, 0, 4096}, [] {});
+  ssd.Submit(IoRequest{IoRequest::Kind::kRead, 4096, 8192},
+             [](const IoResult&) {});
+  ssd.Submit(IoRequest{IoRequest::Kind::kWrite, 0, 4096},
+             [](const IoResult&) {});
   sim.Run();
   ssd.set_trace_sink(nullptr);
-  ssd.Submit(IoRequest{IoRequest::Kind::kRead, 0, 4096}, [] {});  // untraced
+  ssd.Submit(IoRequest{IoRequest::Kind::kRead, 0, 4096},
+             [](const IoResult&) {});  // untraced
   sim.Run();
   ASSERT_EQ(trace.size(), 2u);
   EXPECT_EQ(trace[0].offset, 4096u);
@@ -152,15 +156,46 @@ TEST(DeviceTraceTest, SinkReceivesExactlySubmittedRequests) {
   EXPECT_EQ(trace[1].kind, IoRequest::Kind::kWrite);
 }
 
-TEST(DeviceDeathTest, RejectsOutOfCapacityIo) {
+TEST(DeviceValidationTest, MalformedRequestsCompleteWithOutOfRange) {
+  // Satellite: malformed I/O is an asynchronous kOutOfRange completion, not
+  // a process abort — upper layers handle it through the same Status path
+  // as any other failure.
   sim::Simulator sim;
   SsdDevice ssd(sim, SsdGeometry::ConsumerPcie());
-  EXPECT_DEATH(
-      ssd.Submit(IoRequest{IoRequest::Kind::kRead, ssd.capacity_bytes(), 4096},
-                 [] {}),
-      "beyond device capacity");
-  EXPECT_DEATH(
-      ssd.Submit(IoRequest{IoRequest::Kind::kRead, 0, 0}, [] {}), "length");
+
+  Status beyond = Status::OK();
+  ssd.Submit(IoRequest{IoRequest::Kind::kRead, ssd.capacity_bytes(), 4096},
+             [&](const IoResult& r) { beyond = r.status; });
+  Status overhang = Status::OK();
+  ssd.Submit(
+      IoRequest{IoRequest::Kind::kRead, ssd.capacity_bytes() - 2048, 4096},
+      [&](const IoResult& r) { overhang = r.status; });
+  Status zero_len = Status::OK();
+  ssd.Submit(IoRequest{IoRequest::Kind::kRead, 0, 0},
+             [&](const IoResult& r) { zero_len = r.status; });
+  sim.Run();
+
+  EXPECT_EQ(beyond.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(overhang.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(zero_len.code(), StatusCode::kOutOfRange);
+  // Every rejection is an errored completion: submit/complete stay paired
+  // (outstanding drains to zero) and no data bytes are counted.
+  EXPECT_EQ(ssd.stats().errors(), 3u);
+  EXPECT_EQ(ssd.stats().outstanding(), 0);
+  EXPECT_EQ(ssd.stats().ThroughputMbps(), 0.0);
+}
+
+TEST(DeviceValidationTest, RejectionIsAsynchronous) {
+  // The completion fires from the simulator, not inline from Submit — the
+  // caller can rely on Submit never re-entering its own completion.
+  sim::Simulator sim;
+  SsdDevice ssd(sim, SsdGeometry::ConsumerPcie());
+  bool completed = false;
+  ssd.Submit(IoRequest{IoRequest::Kind::kRead, 0, 0},
+             [&](const IoResult&) { completed = true; });
+  EXPECT_FALSE(completed);
+  sim.Run();
+  EXPECT_TRUE(completed);
 }
 
 }  // namespace

@@ -52,7 +52,7 @@ inline double MeasureSequentialReadThroughput(sim::Simulator& sim,
          off += block_bytes) {
       co_await slots.WaitAcquire();
       device.Submit(IoRequest{IoRequest::Kind::kRead, off, block_bytes},
-                    [&slots, &all] {
+                    [&slots, &all](const IoResult&) {
                       slots.Release();
                       all.CountDown();
                     });

@@ -19,7 +19,8 @@ class HddDeviceTest : public ::testing::Test {
 
 TEST_F(HddDeviceTest, SingleReadCompletes) {
   bool done = false;
-  hdd_.Submit(IoRequest{IoRequest::Kind::kRead, 0, 4096}, [&] { done = true; });
+  hdd_.Submit(IoRequest{IoRequest::Kind::kRead, 0, 4096},
+              [&](const IoResult&) { done = true; });
   sim_.Run();
   EXPECT_TRUE(done);
   EXPECT_GT(sim_.Now(), 0.0);
@@ -87,7 +88,7 @@ TEST_F(HddDeviceTest, QueueDepthStatTracksOutstanding) {
     for (int i = 0; i < 8; ++i) {
       hdd_.Submit(IoRequest{IoRequest::Kind::kRead,
                             static_cast<uint64_t>(i) * (1 << 26), 4096},
-                  [&] { latch.CountDown(); });
+                  [&](const IoResult&) { latch.CountDown(); });
     }
     sim_.Run();
     qd = hdd_.stats().AverageQueueDepth(sim_.Now());
@@ -99,7 +100,8 @@ TEST_F(HddDeviceTest, QueueDepthStatTracksOutstanding) {
 
 TEST_F(HddDeviceTest, WritesAccounted) {
   bool done = false;
-  hdd_.Submit(IoRequest{IoRequest::Kind::kWrite, 4096, 8192}, [&] { done = true; });
+  hdd_.Submit(IoRequest{IoRequest::Kind::kWrite, 4096, 8192},
+              [&](const IoResult&) { done = true; });
   sim_.Run();
   EXPECT_TRUE(done);
   EXPECT_EQ(hdd_.stats().writes(), 1u);

@@ -26,7 +26,7 @@ TEST_F(RaidDeviceTest, CapacityIsSumOfMembers) {
 TEST_F(RaidDeviceTest, SingleReadCompletes) {
   bool done = false;
   raid_.Submit(IoRequest{IoRequest::Kind::kRead, 12345, 4096},
-               [&] { done = true; });
+               [&](const IoResult&) { done = true; });
   sim_.Run();
   EXPECT_TRUE(done);
 }
@@ -35,7 +35,7 @@ TEST_F(RaidDeviceTest, CrossChunkReadSplitsAndJoins) {
   // A read spanning a 64 KiB chunk boundary produces exactly one completion.
   int completions = 0;
   raid_.Submit(IoRequest{IoRequest::Kind::kRead, 64 * 1024 - 2048, 4096},
-               [&] { ++completions; });
+               [&](const IoResult&) { ++completions; });
   sim_.Run();
   EXPECT_EQ(completions, 1);
   // Both neighbouring members saw a piece.

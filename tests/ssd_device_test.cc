@@ -19,7 +19,8 @@ class SsdDeviceTest : public ::testing::Test {
 
 TEST_F(SsdDeviceTest, SingleReadCompletes) {
   bool done = false;
-  ssd_.Submit(IoRequest{IoRequest::Kind::kRead, 0, 4096}, [&] { done = true; });
+  ssd_.Submit(IoRequest{IoRequest::Kind::kRead, 0, 4096},
+              [&](const IoResult&) { done = true; });
   sim_.Run();
   EXPECT_TRUE(done);
   // One 4KB read: flash read + bus + overhead, well under a millisecond.
@@ -90,7 +91,7 @@ TEST_F(SsdDeviceTest, LargeReadSplitsAcrossUnitsAndFinishesFast) {
   bool done = false;
   sim::SimTime start = sim_.Now();
   ssd_.Submit(IoRequest{IoRequest::Kind::kRead, 0, 128 * 1024},
-              [&] { done = true; });
+              [&](const IoResult&) { done = true; });
   sim_.Run();
   EXPECT_TRUE(done);
   double elapsed = sim_.Now() - start;
@@ -102,12 +103,14 @@ TEST_F(SsdDeviceTest, LargeReadSplitsAcrossUnitsAndFinishesFast) {
 TEST_F(SsdDeviceTest, WritesSlowerThanReads) {
   sim::Simulator sim_w;
   SsdDevice ssd_w(sim_w, SsdGeometry::ConsumerPcie());
-  ssd_w.Submit(IoRequest{IoRequest::Kind::kWrite, 0, 4096}, [] {});
+  ssd_w.Submit(IoRequest{IoRequest::Kind::kWrite, 0, 4096},
+               [](const IoResult&) {});
   double write_time = sim_w.Run();
 
   sim::Simulator sim_r;
   SsdDevice ssd_r(sim_r, SsdGeometry::ConsumerPcie());
-  ssd_r.Submit(IoRequest{IoRequest::Kind::kRead, 0, 4096}, [] {});
+  ssd_r.Submit(IoRequest{IoRequest::Kind::kRead, 0, 4096},
+               [](const IoResult&) {});
   double read_time = sim_r.Run();
 
   EXPECT_GT(write_time, read_time * 1.5);
@@ -118,7 +121,7 @@ TEST_F(SsdDeviceTest, CompletionsAreOnePerRequest) {
   for (int i = 0; i < 100; ++i) {
     ssd_.Submit(IoRequest{IoRequest::Kind::kRead,
                           static_cast<uint64_t>(i) * 4096, 4096},
-                [&] { ++completions; });
+                [&](const IoResult&) { ++completions; });
   }
   sim_.Run();
   EXPECT_EQ(completions, 100);
