@@ -44,16 +44,19 @@ std::string FaultSummary(db::Database& db) {
   const uint64_t injected = db.fault_injector() != nullptr
                                 ? db.fault_injector()->total_injected()
                                 : dev.errors_injected();
-  if (injected == 0 && dev.degraded_clamps() == 0 && pool.retries == 0 &&
+  if (injected == 0 && dev.degraded_clamps() == 0 &&
+      dev.cancelled_requests() == 0 && pool.retries == 0 &&
       pool.timeouts == 0 && pool.failed_loads == 0 && pool.fetch_errors == 0) {
     return "";
   }
-  char buf[160];
+  char buf[192];
   std::snprintf(buf, sizeof(buf),
-                "faults: injected=%llu degraded_clamps=%llu retries=%llu "
-                "timeouts=%llu failed_loads=%llu fetch_errors=%llu",
+                "faults: injected=%llu degraded_clamps=%llu cancelled=%llu "
+                "retries=%llu timeouts=%llu failed_loads=%llu "
+                "fetch_errors=%llu",
                 static_cast<unsigned long long>(injected),
                 static_cast<unsigned long long>(dev.degraded_clamps()),
+                static_cast<unsigned long long>(dev.cancelled_requests()),
                 static_cast<unsigned long long>(pool.retries),
                 static_cast<unsigned long long>(pool.timeouts),
                 static_cast<unsigned long long>(pool.failed_loads),

@@ -1,9 +1,12 @@
 #include "db/database.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/math_utils.h"
+#include "sim/sync.h"
+#include "sim/task.h"
 #include "storage/btree.h"
 
 namespace pioqo::db {
@@ -130,13 +133,15 @@ StatusOr<exec::ScanResult> Database::ExecuteScan(const std::string& table,
                                                  exec::RangePredicate pred,
                                                  core::AccessMethod method,
                                                  int dop, int prefetch_depth,
-                                                 bool flush_pool) {
+                                                 bool flush_pool,
+                                                 io::QueryContext* query) {
   PIOQO_ASSIGN_OR_RETURN(const storage::Dataset* ds, GetTable(table));
   if (dop < 1 || dop > options_.constants.max_parallel_degree) {
     return Status::InvalidArgument("bad parallel degree");
   }
   if (flush_pool) PIOQO_RETURN_IF_ERROR(pool_.Clear());
-  exec::ExecContext ctx{sim_, cpu_, pool_, options_.constants, health_.get()};
+  exec::ExecContext ctx{sim_,          cpu_, pool_, options_.constants,
+                        health_.get(), query};
   exec::ScanResult result;
   switch (method) {
     case core::AccessMethod::kFts:
@@ -159,46 +164,59 @@ StatusOr<exec::ScanResult> Database::ExecuteScan(const std::string& table,
   return result;
 }
 
+StatusOr<exec::ScanSpec> Database::ResolveScanSpec(
+    const ConcurrentScanSpec& spec) const {
+  PIOQO_ASSIGN_OR_RETURN(const storage::Dataset* ds, GetTable(spec.table));
+  if (spec.dop < 1 || spec.dop > options_.constants.max_parallel_degree) {
+    return Status::InvalidArgument("bad parallel degree");
+  }
+  exec::ScanSpec es;
+  es.table = &ds->table;
+  es.pred = spec.pred;
+  es.dop = spec.dop;
+  es.prefetch_depth = spec.prefetch_depth;
+  switch (spec.method) {
+    case core::AccessMethod::kFts:
+    case core::AccessMethod::kPfts:
+      es.index = nullptr;
+      break;
+    case core::AccessMethod::kIs:
+    case core::AccessMethod::kPis:
+      es.index = &ds->index_c2;
+      break;
+    case core::AccessMethod::kSortedIs:
+      es.index = &ds->index_c2;
+      es.sorted = true;
+      break;
+  }
+  return es;
+}
+
 StatusOr<std::vector<exec::ScanResult>> Database::ExecuteConcurrentScans(
     const std::vector<ConcurrentScanSpec>& specs, bool flush_pool) {
   std::vector<exec::ScanSpec> exec_specs;
   exec_specs.reserve(specs.size());
   for (const auto& spec : specs) {
-    PIOQO_ASSIGN_OR_RETURN(const storage::Dataset* ds, GetTable(spec.table));
-    if (spec.dop < 1 || spec.dop > options_.constants.max_parallel_degree) {
-      return Status::InvalidArgument("bad parallel degree");
-    }
-    exec::ScanSpec es;
-    es.table = &ds->table;
-    es.pred = spec.pred;
-    es.dop = spec.dop;
-    es.prefetch_depth = spec.prefetch_depth;
-    switch (spec.method) {
-      case core::AccessMethod::kFts:
-      case core::AccessMethod::kPfts:
-        es.index = nullptr;
-        break;
-      case core::AccessMethod::kIs:
-      case core::AccessMethod::kPis:
-        es.index = &ds->index_c2;
-        break;
-      case core::AccessMethod::kSortedIs:
-        es.index = &ds->index_c2;
-        es.sorted = true;
-        break;
-    }
+    PIOQO_ASSIGN_OR_RETURN(exec::ScanSpec es, ResolveScanSpec(spec));
     exec_specs.push_back(es);
   }
   if (flush_pool) PIOQO_RETURN_IF_ERROR(pool_.Clear());
   exec::ExecContext ctx{sim_, cpu_, pool_, options_.constants, health_.get()};
-  // Concurrent streams can fail independently; each result carries its own
-  // `status` instead of collapsing the whole mix into one error.
-  return exec::RunConcurrentScans(ctx, exec_specs);
+  std::vector<exec::ScanResult> results =
+      exec::RunConcurrentScans(ctx, exec_specs);
+  // Concurrent streams can fail independently, but a caller that unwraps
+  // the StatusOr must not mistake a half-failed mix for success: surface
+  // the first stream error as the call's status.
+  for (const exec::ScanResult& r : results) {
+    if (!r.ok()) return r.status;
+  }
+  return results;
 }
 
 StatusOr<Database::QueryOutcome> Database::ExecuteQuery(
     const std::string& table, exec::RangePredicate pred,
-    bool queue_depth_aware, bool flush_pool, opt::OptimizerOptions options) {
+    bool queue_depth_aware, bool flush_pool, opt::OptimizerOptions options,
+    io::QueryContext* query) {
   if (!calibrated()) {
     return Status::FailedPrecondition("calibrate the database first");
   }
@@ -216,8 +234,126 @@ StatusOr<Database::QueryOutcome> Database::ExecuteQuery(
   const auto& plan = outcome.optimization.chosen;
   PIOQO_ASSIGN_OR_RETURN(
       outcome.scan, ExecuteScan(table, pred, plan.method, plan.dop,
-                                plan.prefetch_depth, flush_pool));
+                                plan.prefetch_depth, flush_pool, query));
   return outcome;
+}
+
+void Database::EnableAdmissionControl(AdmissionOptions options) {
+  if (options.health == nullptr) options.health = health_.get();
+  admission_ = std::make_unique<AdmissionController>(sim_, options);
+}
+
+namespace {
+
+Database::QueryTerminal ClassifyTerminal(const Status& st, bool admitted) {
+  if (st.ok()) return Database::QueryTerminal::kCompleted;
+  switch (st.code()) {
+    case StatusCode::kDeadlineExceeded:
+      return Database::QueryTerminal::kTimedOut;
+    case StatusCode::kCancelled:
+      return Database::QueryTerminal::kCancelled;
+    case StatusCode::kResourceExhausted:
+      // Unadmitted kResourceExhausted is the admission controller shedding;
+      // after admission it is a real execution failure (pool exhausted).
+      return admitted ? Database::QueryTerminal::kFailed
+                      : Database::QueryTerminal::kShed;
+    default:
+      return Database::QueryTerminal::kFailed;
+  }
+}
+
+/// One query's whole life: wait for its arrival, flow through admission,
+/// execute at the granted DOP, release, classify. The QueryContext lives in
+/// this frame, outliving every operator/pool interaction of the query.
+sim::Task QueryLifecycle(Database& db, AdmissionController& ctrl,
+                         const Database::QueryRequest& req,
+                         const exec::ScanSpec& base_spec,
+                         Database::QueryReport& out, sim::Latch& all_done) {
+  sim::Simulator& sim = db.simulator();
+  if (req.arrival_us > sim.Now()) {
+    co_await sim::Delay(sim, req.arrival_us - sim.Now());
+  }
+  io::QueryContext query(sim);
+  query.pinned_frame_quota = req.pinned_frame_quota;
+  query.queue_depth_share = req.queue_depth_share;
+  if (req.timeout_us > 0.0) query.SetDeadline(req.arrival_us + req.timeout_us);
+  bool cancel_armed = false;
+  uint64_t cancel_token = 0;
+  if (req.cancel_at_us >= 0.0) {
+    cancel_armed = true;
+    cancel_token = sim.ScheduleCancellableAfter(
+        std::max(0.0, req.cancel_at_us - sim.Now()), [&query] {
+          query.Cancel(Status::Cancelled("injected cancellation"));
+        });
+  }
+
+  AdmissionGrant grant = co_await ctrl.Admit(query, base_spec.dop);
+  out.admit_wait_us = grant.wait_us;
+  const bool admitted = grant.ok();
+  Status final_status = grant.status;
+  if (admitted) {
+    out.granted_dop = grant.dop;
+    exec::ExecContext ctx{sim,
+                          db.cpu(),
+                          db.pool(),
+                          db.options().constants,
+                          db.health_monitor(),
+                          &query};
+    exec::ScanSpec spec = base_spec;
+    spec.dop = grant.dop;
+    auto scan = exec::StartScan(ctx, spec);
+    co_await scan->done().Wait();
+    final_status = scan->aggregate().status;
+    out.rows_matched = scan->aggregate().rows_matched;
+    ctrl.Release(grant);
+  }
+  if (cancel_armed) sim.Cancel(cancel_token);
+  out.status = std::move(final_status);
+  out.terminal = ClassifyTerminal(out.status, admitted);
+  out.latency_us = sim.Now() - req.arrival_us;
+  all_done.CountDown();
+}
+
+}  // namespace
+
+StatusOr<Database::WorkloadReport> Database::RunWorkload(
+    const std::vector<QueryRequest>& requests, bool flush_pool) {
+  if (admission_ == nullptr) {
+    return Status::FailedPrecondition(
+        "RunWorkload requires EnableAdmissionControl()");
+  }
+  std::vector<exec::ScanSpec> specs;
+  specs.reserve(requests.size());
+  for (const QueryRequest& req : requests) {
+    if (req.arrival_us < sim_.Now()) {
+      return Status::InvalidArgument("arrival_us in the simulated past");
+    }
+    PIOQO_ASSIGN_OR_RETURN(exec::ScanSpec spec, ResolveScanSpec(req.scan));
+    specs.push_back(spec);
+  }
+  if (flush_pool) PIOQO_RETURN_IF_ERROR(pool_.Clear());
+
+  WorkloadReport report;
+  report.queries.resize(requests.size());
+  sim::Latch all_done(sim_, static_cast<int64_t>(requests.size()));
+  for (size_t i = 0; i < requests.size(); ++i) {
+    QueryLifecycle(*this, *admission_, requests[i], specs[i],
+                   report.queries[i], all_done);
+  }
+  sim_.Run();
+  PIOQO_CHECK(all_done.done()) << "workload did not drain";
+
+  report.admission = admission_->stats();
+  for (const QueryReport& q : report.queries) {
+    switch (q.terminal) {
+      case QueryTerminal::kCompleted: ++report.completed; break;
+      case QueryTerminal::kShed:      ++report.shed; break;
+      case QueryTerminal::kTimedOut:  ++report.timed_out; break;
+      case QueryTerminal::kCancelled: ++report.cancelled; break;
+      case QueryTerminal::kFailed:    ++report.failed; break;
+    }
+  }
+  return report;
 }
 
 }  // namespace pioqo::db

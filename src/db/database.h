@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "core/calibrator.h"
+#include "db/admission.h"
 #include "core/cost_constants.h"
 #include "core/cost_model.h"
 #include "core/histogram.h"
@@ -72,11 +73,13 @@ class Database {
 
   /// Executes query Q with a forced plan. If `flush_pool`, the buffer pool
   /// is emptied first (the paper flushes it "to factor out the impact of
-  /// pages which are already in memory").
+  /// pages which are already in memory"). With a `query`, the scan observes
+  /// its deadline/cancellation token and resource budgets.
   StatusOr<exec::ScanResult> ExecuteScan(const std::string& table,
                                          exec::RangePredicate pred,
                                          core::AccessMethod method, int dop,
-                                         int prefetch_depth, bool flush_pool);
+                                         int prefetch_depth, bool flush_pool,
+                                         io::QueryContext* query = nullptr);
 
   struct QueryOutcome {
     opt::OptimizationResult optimization;
@@ -94,7 +97,9 @@ class Database {
 
   /// Runs all scans concurrently on the shared device/CPU/pool — the
   /// paper's future-work scenario. Results are in spec order; each carries
-  /// its own completion time and the mix-wide device measurements.
+  /// its own completion time and the mix-wide device measurements. If any
+  /// stream failed, the *first* (in spec order) non-OK scan status is
+  /// returned instead of the results.
   StatusOr<std::vector<exec::ScanResult>> ExecuteConcurrentScans(
       const std::vector<ConcurrentScanSpec>& specs, bool flush_pool);
 
@@ -103,7 +108,63 @@ class Database {
   StatusOr<QueryOutcome> ExecuteQuery(const std::string& table,
                                       exec::RangePredicate pred,
                                       bool queue_depth_aware, bool flush_pool,
-                                      opt::OptimizerOptions options = {});
+                                      opt::OptimizerOptions options = {},
+                                      io::QueryContext* query = nullptr);
+
+  // --- Query lifecycle (admission, deadlines, cancellation) ---------------
+
+  /// Installs the admission controller for RunWorkload. When
+  /// `options.health` is null, the database's health monitor (if enabled)
+  /// is wired in, so degraded devices clamp admitted DOP automatically.
+  void EnableAdmissionControl(AdmissionOptions options = {});
+  void DisableAdmissionControl() { admission_.reset(); }
+  AdmissionController* admission() { return admission_.get(); }
+
+  /// One query of an open-loop workload replayed by RunWorkload.
+  struct QueryRequest {
+    ConcurrentScanSpec scan;
+    /// Absolute simulated arrival time.
+    double arrival_us = 0.0;
+    /// Deadline relative to arrival; 0 disables it.
+    double timeout_us = 0.0;
+    /// Absolute simulated time of an injected cancellation (a user hitting
+    /// Ctrl-C); negative disables it.
+    double cancel_at_us = -1.0;
+    /// Per-query resource budgets (0 = unlimited), see io::QueryContext.
+    int pinned_frame_quota = 0;
+    int queue_depth_share = 0;
+  };
+
+  /// Terminal state of the query lifecycle state machine (DESIGN.md §9):
+  /// admitted → running → {completed, cancelled, timed out} and
+  /// queued → shed.
+  enum class QueryTerminal { kCompleted, kShed, kTimedOut, kCancelled, kFailed };
+
+  struct QueryReport {
+    QueryTerminal terminal = QueryTerminal::kFailed;
+    Status status;          // OK iff terminal == kCompleted
+    double admit_wait_us = 0.0;
+    double latency_us = 0.0;  // arrival → terminal state
+    int granted_dop = 0;      // 0 when never admitted
+    uint64_t rows_matched = 0;
+  };
+
+  struct WorkloadReport {
+    std::vector<QueryReport> queries;  // in request order
+    AdmissionStats admission;
+    size_t completed = 0;
+    size_t shed = 0;
+    size_t timed_out = 0;
+    size_t cancelled = 0;
+    size_t failed = 0;
+  };
+
+  /// Replays `requests` as an open-loop arrival process against the shared
+  /// device/CPU/pool, each query flowing through admission control, its
+  /// deadline, and any injected cancellation, and runs the simulation until
+  /// every query reaches a terminal state. Requires EnableAdmissionControl.
+  StatusOr<WorkloadReport> RunWorkload(const std::vector<QueryRequest>& requests,
+                                       bool flush_pool);
 
   /// Optimizer-facing statistics for a table.
   core::TableProfile ProfileFor(const storage::Dataset& dataset) const;
@@ -131,6 +192,7 @@ class Database {
   io::DeviceHealthMonitor* health_monitor() { return health_.get(); }
 
   sim::Simulator& simulator() { return sim_; }
+  sim::CpuScheduler& cpu() { return cpu_; }
   /// The device queries run against: the fault injector when configured,
   /// else the raw device.
   io::Device& device() { return disk_.device(); }
@@ -142,6 +204,10 @@ class Database {
   const DatabaseOptions& options() const { return options_; }
 
  private:
+  /// Resolves a workload spec against the catalog (table/index pointers,
+  /// DOP validation) into an executable exec::ScanSpec.
+  StatusOr<exec::ScanSpec> ResolveScanSpec(const ConcurrentScanSpec& spec) const;
+
   DatabaseOptions options_;
   sim::Simulator sim_;
   std::unique_ptr<io::Device> device_;
@@ -151,6 +217,7 @@ class Database {
   storage::BufferPool pool_;
   sim::CpuScheduler cpu_;
   std::unique_ptr<io::DeviceHealthMonitor> health_;
+  std::unique_ptr<AdmissionController> admission_;
   std::map<std::string, storage::Dataset> tables_;
   std::map<std::string, core::EquiWidthHistogram> histograms_;
   std::optional<core::QdttModel> qdtt_;

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "io/device.h"
 #include "io/health_monitor.h"
+#include "io/query_context.h"
 #include "sim/sync.h"
 #include "sim/task.h"
 #include "storage/data_generator.h"
@@ -92,6 +93,13 @@ sim::Task JoinWorker(JoinState& s) {
     if (s.next_page >= s.end_page) break;
     const PageId outer_page = s.next_page++;
 
+    if (s.ctx.query != nullptr && !s.failed()) {
+      // Outer-page granularity cancellation poll; the drain protocol below
+      // consumes the claimed page without device I/O.
+      Status alive = s.ctx.query->CheckAlive();
+      if (!alive.ok()) s.RecordError(alive);
+    }
+
     if (s.failed()) {
       // Drain mode: consume remaining outer pages without device I/O so
       // the block/slot protocol completes and every coroutine retires.
@@ -101,7 +109,7 @@ sim::Task JoinWorker(JoinState& s) {
       continue;
     }
 
-    auto outer_ref = co_await s.ctx.pool.Fetch(outer_page);
+    auto outer_ref = co_await s.ctx.pool.Fetch(outer_page, s.ctx.query);
     if (!outer_ref.ok()) {
       s.RecordError(outer_ref.status);
       if (--s.block_remaining[s.BlockOf(outer_page)] == 0) {
@@ -128,7 +136,7 @@ sim::Task JoinWorker(JoinState& s) {
       }
     }
     s.outer_rows += rows;
-    s.ctx.pool.Unpin(outer_page);
+    s.ctx.pool.Unpin(outer_page, s.ctx.query);
 
     for (const OuterRow& row : qualifying) {
       if (s.failed()) break;
@@ -136,7 +144,7 @@ sim::Task JoinWorker(JoinState& s) {
       // Descent.
       PageId pid = s.inner_index.root();
       for (;;) {
-        auto ref = co_await s.ctx.pool.Fetch(pid);
+        auto ref = co_await s.ctx.pool.Fetch(pid, s.ctx.query);
         if (!ref.ok()) {
           // Descent holds no pins across a fetch, so nothing to unwind.
           s.RecordError(ref.status);
@@ -155,10 +163,10 @@ sim::Task JoinWorker(JoinState& s) {
             const uint16_t n = BPlusTree::EntryCount(leaf_ref.data);
             if (slot >= n) {
               const PageId next_leaf = BPlusTree::LeafNext(leaf_ref.data);
-              s.ctx.pool.Unpin(leaf_id);
+              s.ctx.pool.Unpin(leaf_id, s.ctx.query);
               if (next_leaf == kInvalidPageId) break;
               leaf_id = next_leaf;
-              leaf_ref = co_await s.ctx.pool.Fetch(leaf_id);
+              leaf_ref = co_await s.ctx.pool.Fetch(leaf_id, s.ctx.query);
               if (!leaf_ref.ok()) {
                 // The previous leaf is already unpinned.
                 s.RecordError(leaf_ref.status);
@@ -170,14 +178,15 @@ sim::Task JoinWorker(JoinState& s) {
             }
             const auto entry = BPlusTree::LeafEntryAt(leaf_ref.data, slot);
             if (entry.key != row.key) {
-              s.ctx.pool.Unpin(leaf_id);
+              s.ctx.pool.Unpin(leaf_id, s.ctx.query);
               break;
             }
             // Fetch the matching inner row.
-            auto inner_ref = co_await s.ctx.pool.Fetch(entry.rid.page);
+            auto inner_ref =
+                co_await s.ctx.pool.Fetch(entry.rid.page, s.ctx.query);
             if (!inner_ref.ok()) {
               s.RecordError(inner_ref.status);
-              s.ctx.pool.Unpin(leaf_id);
+              s.ctx.pool.Unpin(leaf_id, s.ctx.query);
               break;
             }
             co_await s.ctx.cpu.Consume(c.fetch_cpu_us + c.row_eval_cpu_us +
@@ -186,12 +195,12 @@ sim::Task JoinWorker(JoinState& s) {
                 inner_ref.data, entry.rid.slot, storage::kColumnC1);
             s.sum_c1 += static_cast<int64_t>(row.c1) + inner_c1;
             ++s.rows_joined;
-            s.ctx.pool.Unpin(entry.rid.page);
+            s.ctx.pool.Unpin(entry.rid.page, s.ctx.query);
             ++slot;
           }
           break;
         }
-        s.ctx.pool.Unpin(pid);
+        s.ctx.pool.Unpin(pid, s.ctx.query);
         pid = next;
       }
     }

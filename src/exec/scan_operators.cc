@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "io/device.h"
 #include "io/health_monitor.h"
+#include "io/query_context.h"
 #include "storage/data_generator.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -20,30 +21,18 @@ using storage::BPlusTree;
 using storage::kInvalidPageId;
 using storage::PageId;
 
-/// Shared MAX(C1) accumulator (single simulated timeline, so plain fields).
-/// Also carries the scan's failure state: the first I/O error recorded here
-/// aborts the scan, and every worker checks `failed()` to switch into drain
-/// mode (keep the coordination protocol alive without touching the device).
-struct Aggregate {
-  bool found = false;
-  int32_t max_c1 = 0;
-  uint64_t rows_matched = 0;
-  uint64_t rows_examined = 0;
-  Status status;
+using Aggregate = ScanAggregate;
 
-  void Accumulate(int32_t c1) {
-    if (!found || c1 > max_c1) {
-      found = true;
-      max_c1 = c1;
-    }
-    ++rows_matched;
+/// Page-granularity cancellation poll: records the query's cancellation
+/// status (if it died) into the aggregate so the scan's drain protocol
+/// takes over. Returns true when the scan should stop doing device work.
+bool PollCancelled(ExecContext& ctx, Aggregate& agg) {
+  if (ctx.query != nullptr && !agg.failed()) {
+    Status alive = ctx.query->CheckAlive();
+    if (!alive.ok()) agg.RecordError(alive);
   }
-
-  bool failed() const { return !status.ok(); }
-  void RecordError(const Status& st) {
-    if (status.ok() && !st.ok()) status = st;
-  }
-};
+  return agg.failed();
+}
 
 /// Re-evaluates the health monitor's DOP clamp against the currently
 /// allowed parallelism. Returns the (possibly reduced) allowed DOP; workers
@@ -107,13 +96,14 @@ struct FtsState {
   Aggregate agg;
   int allowed_dop;
 
-  FtsState(ExecContext& c, const storage::Table& t, RangePredicate p, int dop)
+  FtsState(ExecContext& c, const storage::Table& t, RangePredicate p, int dop,
+           int prefetch_blocks)
       : ctx(c),
         table(t),
         pred(p),
         next_page(t.first_page()),
         end_page(t.first_page() + t.num_pages()),
-        prefetch_slots(c.sim, c.constants.fts_prefetch_blocks),
+        prefetch_slots(c.sim, prefetch_blocks),
         page_latch(c.sim, 1),
         done(c.sim, dop),
         allowed_dop(dop) {
@@ -160,7 +150,7 @@ sim::Task FtsWorker(FtsState& s, int worker_index) {
     if (s.next_page >= s.end_page) break;
     const PageId page = s.next_page++;
 
-    if (s.agg.failed()) {
+    if (PollCancelled(s.ctx, s.agg)) {
       // Drain mode: the scan already failed. Consume the remaining pages
       // without device I/O, keeping the block accounting (and through it
       // the prefetcher's slot protocol) alive so every coroutine retires.
@@ -175,7 +165,7 @@ sim::Task FtsWorker(FtsState& s, int worker_index) {
     co_await s.ctx.cpu.Consume(c.page_latch_us);
     s.page_latch.Release();
 
-    auto ref = co_await s.ctx.pool.Fetch(page);
+    auto ref = co_await s.ctx.pool.Fetch(page, s.ctx.query);
     if (!ref.ok()) {
       // Failed fetch: the page is not pinned; record the error and fall
       // into drain mode for this and all remaining pages.
@@ -197,7 +187,7 @@ sim::Task FtsWorker(FtsState& s, int worker_index) {
       }
     }
     s.agg.rows_examined += rows;
-    s.ctx.pool.Unpin(page);
+    s.ctx.pool.Unpin(page, s.ctx.query);
 
     if (--s.block_remaining[s.BlockOf(page)] == 0) {
       s.prefetch_slots.Release();
@@ -248,7 +238,7 @@ sim::Task IsDescend(IsState& s, int32_t key, PageId& out_leaf,
   const auto& c = s.ctx.constants;
   PageId pid = s.index.root();
   for (;;) {
-    auto ref = co_await s.ctx.pool.Fetch(pid);
+    auto ref = co_await s.ctx.pool.Fetch(pid, s.ctx.query);
     if (!ref.ok()) {
       // Failed descent: out_leaf stays kInvalidPageId; the coordinator
       // checks the aggregate's status after the latch.
@@ -259,7 +249,7 @@ sim::Task IsDescend(IsState& s, int32_t key, PageId& out_leaf,
     co_await s.ctx.cpu.Consume(c.fetch_cpu_us + c.page_overhead_cpu_us);
     const bool leaf = BPlusTree::IsLeaf(ref.data);
     const PageId next = leaf ? kInvalidPageId : BPlusTree::ChildFor(ref.data, key);
-    s.ctx.pool.Unpin(pid);
+    s.ctx.pool.Unpin(pid, s.ctx.query);
     if (leaf) break;
     pid = next;
   }
@@ -309,12 +299,18 @@ sim::Task IsWorker(IsState& s, int worker_index) {
     auto item = co_await s.leaves.Pop();
     if (!item) break;
     const PageId leaf_id = *item;
+    if (s.ctx.query != nullptr && !s.agg.failed()) {
+      // Leaf-granularity cancellation poll. Fail (not just RecordError):
+      // closing the channel is what unblocks sibling workers parked in Pop.
+      Status alive = s.ctx.query->CheckAlive();
+      if (!alive.ok()) s.Fail(alive);
+    }
     if (s.agg.failed()) {
       // Drain mode: another worker failed and closed the channel; discard
       // leaves that were already queued without touching the device.
       continue;
     }
-    auto leaf = co_await s.ctx.pool.Fetch(leaf_id);
+    auto leaf = co_await s.ctx.pool.Fetch(leaf_id, s.ctx.query);
     if (!leaf.ok()) {
       s.Fail(leaf.status);
       break;
@@ -358,7 +354,7 @@ sim::Task IsWorker(IsState& s, int worker_index) {
       }
 
       co_await s.ctx.cpu.Consume(c.index_entry_cpu_us);
-      auto row_page = co_await s.ctx.pool.Fetch(batch[i].rid.page);
+      auto row_page = co_await s.ctx.pool.Fetch(batch[i].rid.page, s.ctx.query);
       if (!row_page.ok()) {
         s.Fail(row_page.status);
         leaf_failed = true;
@@ -371,9 +367,9 @@ sim::Task IsWorker(IsState& s, int worker_index) {
       s.agg.Accumulate(s.table.GetColumn(row_page.data, batch[i].rid.slot,
                                          storage::kColumnC1));
       ++s.agg.rows_examined;
-      s.ctx.pool.Unpin(batch[i].rid.page);
+      s.ctx.pool.Unpin(batch[i].rid.page, s.ctx.query);
     }
-    s.ctx.pool.Unpin(leaf_id);
+    s.ctx.pool.Unpin(leaf_id, s.ctx.query);
     if (leaf_failed) break;
   }
   s.done.CountDown();
@@ -430,7 +426,7 @@ sim::Task DescendToLeaf(ExecContext& ctx, const BPlusTree& index, int32_t key,
   const auto& c = ctx.constants;
   PageId pid = index.root();
   for (;;) {
-    auto ref = co_await ctx.pool.Fetch(pid);
+    auto ref = co_await ctx.pool.Fetch(pid, ctx.query);
     if (!ref.ok()) {
       // out_leaf stays kInvalidPageId; the caller inspects `error`.
       error = ref.status;
@@ -440,7 +436,7 @@ sim::Task DescendToLeaf(ExecContext& ctx, const BPlusTree& index, int32_t key,
     co_await ctx.cpu.Consume(c.fetch_cpu_us + c.page_overhead_cpu_us);
     const bool leaf = BPlusTree::IsLeaf(ref.data);
     const PageId next = leaf ? kInvalidPageId : BPlusTree::ChildFor(ref.data, key);
-    ctx.pool.Unpin(pid);
+    ctx.pool.Unpin(pid, ctx.query);
     if (leaf) break;
     pid = next;
   }
@@ -462,7 +458,7 @@ sim::Task SortedIsCoordinator(SortedIsState& s) {
     co_await arrived.Wait();
     if (!descend_error.ok()) s.agg.RecordError(descend_error);
     while (leaf != kInvalidPageId) {
-      auto ref = co_await s.ctx.pool.Fetch(leaf);
+      auto ref = co_await s.ctx.pool.Fetch(leaf, s.ctx.query);
       if (!ref.ok()) {
         // Leaf-chain walk failed: abandon the collection; the workers wake
         // to an empty (or truncated-to-nothing) group list.
@@ -485,7 +481,7 @@ sim::Task SortedIsCoordinator(SortedIsState& s) {
       }
       co_await s.ctx.cpu.Consume(entry_cpu);
       const PageId next = BPlusTree::LeafNext(ref.data);
-      s.ctx.pool.Unpin(leaf);
+      s.ctx.pool.Unpin(leaf, s.ctx.query);
       leaf = past_end ? kInvalidPageId : next;
     }
   }
@@ -519,6 +515,15 @@ sim::Task SortedIsWorker(SortedIsState& s, int worker_index) {
       if (worker_index >= s.allowed_dop) break;
     }
     if (s.next_group >= s.groups.size()) break;
+    if (s.ctx.query != nullptr && !s.agg.failed()) {
+      // Group-granularity cancellation poll. Fail skips every unclaimed
+      // group, so the sibling workers fall through their loop and retire.
+      Status alive = s.ctx.query->CheckAlive();
+      if (!alive.ok()) {
+        s.Fail(alive);
+        break;
+      }
+    }
     const size_t i = s.next_group++;
     // Keep upcoming pages in flight; Prefetch dedups pages other workers
     // already requested.
@@ -528,7 +533,7 @@ sim::Task SortedIsWorker(SortedIsState& s, int worker_index) {
       s.ctx.pool.Prefetch(s.groups[p].page);
     }
     const auto& group = s.groups[i];
-    auto ref = co_await s.ctx.pool.Fetch(group.page);
+    auto ref = co_await s.ctx.pool.Fetch(group.page, s.ctx.query);
     if (!ref.ok()) {
       s.Fail(ref.status);
       break;
@@ -542,7 +547,7 @@ sim::Task SortedIsWorker(SortedIsState& s, int worker_index) {
       s.agg.Accumulate(s.table.GetColumn(ref.data, slot, storage::kColumnC1));
       ++s.agg.rows_examined;
     }
-    s.ctx.pool.Unpin(group.page);
+    s.ctx.pool.Unpin(group.page, s.ctx.query);
   }
   s.done.CountDown();
 }
@@ -551,31 +556,22 @@ sim::Task SortedIsWorker(SortedIsState& s, int worker_index) {
 // Spawnable jobs (shared by the single-scan drivers and RunConcurrentScans)
 // ---------------------------------------------------------------------------
 
-/// A scan in flight: owns its operator state; completion is observed via
-/// the state's latch.
-class ScanJob {
- public:
-  virtual ~ScanJob() = default;
-  virtual sim::Latch& latch() = 0;
-  virtual const Aggregate& agg() const = 0;
-};
-
-class FtsJob : public ScanJob {
+class FtsJob : public RunningScan {
  public:
   FtsJob(ExecContext& ctx, const storage::Table& table, RangePredicate pred,
-         int dop)
-      : state_(ctx, table, pred, dop) {
+         int dop, int prefetch_blocks)
+      : state_(ctx, table, pred, dop, prefetch_blocks) {
     FtsPrefetcher(state_);
     for (int w = 0; w < dop; ++w) FtsWorker(state_, w);
   }
-  sim::Latch& latch() override { return state_.done; }
-  const Aggregate& agg() const override { return state_.agg; }
+  sim::Latch& done() override { return state_.done; }
+  const Aggregate& aggregate() const override { return state_.agg; }
 
  private:
   FtsState state_;
 };
 
-class IsJob : public ScanJob {
+class IsJob : public RunningScan {
  public:
   IsJob(ExecContext& ctx, const storage::Table& table, const BPlusTree& index,
         RangePredicate pred, int dop, int prefetch)
@@ -583,14 +579,14 @@ class IsJob : public ScanJob {
     IsCoordinator(state_);
     for (int w = 0; w < dop; ++w) IsWorker(state_, w);
   }
-  sim::Latch& latch() override { return state_.done; }
-  const Aggregate& agg() const override { return state_.agg; }
+  sim::Latch& done() override { return state_.done; }
+  const Aggregate& aggregate() const override { return state_.agg; }
 
  private:
   IsState state_;
 };
 
-class SortedIsJob : public ScanJob {
+class SortedIsJob : public RunningScan {
  public:
   SortedIsJob(ExecContext& ctx, const storage::Table& table,
               const BPlusTree& index, RangePredicate pred, int dop,
@@ -599,8 +595,8 @@ class SortedIsJob : public ScanJob {
     SortedIsCoordinator(state_);
     for (int w = 0; w < dop; ++w) SortedIsWorker(state_, w);
   }
-  sim::Latch& latch() override { return state_.done; }
-  const Aggregate& agg() const override { return state_.agg; }
+  sim::Latch& done() override { return state_.done; }
+  const Aggregate& aggregate() const override { return state_.agg; }
 
  private:
   SortedIsState state_;
@@ -631,72 +627,89 @@ std::string ScanResult::ToString() const {
   return out.str();
 }
 
+std::unique_ptr<RunningScan> StartScan(ExecContext& ctx,
+                                       const ScanSpec& spec) {
+  PIOQO_CHECK(spec.table != nullptr);
+  PIOQO_CHECK(spec.dop >= 1);
+  PIOQO_CHECK(spec.prefetch_depth >= 0);
+  const int dop =
+      ctx.health != nullptr ? ctx.health->ClampDop(spec.dop) : spec.dop;
+  int prefetch = ClampPrefetch(ctx, dop, spec.prefetch_depth);
+  // A query's device queue-depth share also caps how much speculative I/O
+  // it may keep in flight.
+  const int share =
+      ctx.query != nullptr ? ctx.query->queue_depth_share : 0;
+  if (share > 0) prefetch = std::min(prefetch, share);
+  if (spec.index == nullptr) {
+    int blocks = static_cast<int>(ctx.constants.fts_prefetch_blocks);
+    if (share > 0) blocks = std::max(1, std::min(blocks, share));
+    return std::make_unique<FtsJob>(ctx, *spec.table, spec.pred, dop, blocks);
+  }
+  if (spec.sorted) {
+    return std::make_unique<SortedIsJob>(ctx, *spec.table, *spec.index,
+                                         spec.pred, dop, prefetch);
+  }
+  return std::make_unique<IsJob>(ctx, *spec.table, *spec.index, spec.pred,
+                                 dop, prefetch);
+}
+
 ScanResult RunFullTableScan(ExecContext& ctx, const storage::Table& table,
                             RangePredicate pred, int dop) {
-  PIOQO_CHECK(dop >= 1);
-  if (ctx.health != nullptr) dop = ctx.health->ClampDop(dop);
   Measurement measurement(ctx);
-  FtsJob job(ctx, table, pred, dop);
+  ScanSpec spec;
+  spec.table = &table;
+  spec.pred = pred;
+  spec.dop = dop;
+  auto scan = StartScan(ctx, spec);
   ctx.sim.Run();
-  PIOQO_CHECK(job.latch().done());
-  return measurement.Finish(job.agg());
+  PIOQO_CHECK(scan->done().done());
+  return measurement.Finish(scan->aggregate());
 }
 
 ScanResult RunIndexScan(ExecContext& ctx, const storage::Table& table,
                         const storage::BPlusTree& index, RangePredicate pred,
                         int dop, int prefetch_depth) {
-  PIOQO_CHECK(dop >= 1);
-  PIOQO_CHECK(prefetch_depth >= 0);
-  if (ctx.health != nullptr) dop = ctx.health->ClampDop(dop);
   Measurement measurement(ctx);
-  IsJob job(ctx, table, index, pred, dop,
-            ClampPrefetch(ctx, dop, prefetch_depth));
+  ScanSpec spec;
+  spec.table = &table;
+  spec.index = &index;
+  spec.pred = pred;
+  spec.dop = dop;
+  spec.prefetch_depth = prefetch_depth;
+  auto scan = StartScan(ctx, spec);
   ctx.sim.Run();
-  PIOQO_CHECK(job.latch().done());
-  return measurement.Finish(job.agg());
+  PIOQO_CHECK(scan->done().done());
+  return measurement.Finish(scan->aggregate());
 }
 
 ScanResult RunSortedIndexScan(ExecContext& ctx, const storage::Table& table,
                               const storage::BPlusTree& index,
                               RangePredicate pred, int dop,
                               int prefetch_depth) {
-  PIOQO_CHECK(dop >= 1);
-  PIOQO_CHECK(prefetch_depth >= 0);
-  if (ctx.health != nullptr) dop = ctx.health->ClampDop(dop);
   Measurement measurement(ctx);
-  SortedIsJob job(ctx, table, index, pred, dop,
-                  ClampPrefetch(ctx, dop, prefetch_depth));
+  ScanSpec spec;
+  spec.table = &table;
+  spec.index = &index;
+  spec.pred = pred;
+  spec.sorted = true;
+  spec.dop = dop;
+  spec.prefetch_depth = prefetch_depth;
+  auto scan = StartScan(ctx, spec);
   ctx.sim.Run();
-  PIOQO_CHECK(job.latch().done());
-  return measurement.Finish(job.agg());
+  PIOQO_CHECK(scan->done().done());
+  return measurement.Finish(scan->aggregate());
 }
 
 std::vector<ScanResult> RunConcurrentScans(ExecContext& ctx,
                                            const std::vector<ScanSpec>& specs) {
   Measurement measurement(ctx);
   const double start = ctx.sim.Now();
-  std::vector<std::unique_ptr<ScanJob>> jobs;
+  std::vector<std::unique_ptr<RunningScan>> jobs;
   std::vector<double> finish_times(specs.size(), -1.0);
   jobs.reserve(specs.size());
   for (size_t i = 0; i < specs.size(); ++i) {
-    const ScanSpec& spec = specs[i];
-    PIOQO_CHECK(spec.table != nullptr);
-    PIOQO_CHECK(spec.dop >= 1);
-    const int dop =
-        ctx.health != nullptr ? ctx.health->ClampDop(spec.dop) : spec.dop;
-    if (spec.index == nullptr) {
-      jobs.push_back(std::make_unique<FtsJob>(ctx, *spec.table, spec.pred,
-                                              dop));
-    } else if (spec.sorted) {
-      jobs.push_back(std::make_unique<SortedIsJob>(
-          ctx, *spec.table, *spec.index, spec.pred, dop,
-          ClampPrefetch(ctx, dop, spec.prefetch_depth)));
-    } else {
-      jobs.push_back(std::make_unique<IsJob>(
-          ctx, *spec.table, *spec.index, spec.pred, dop,
-          ClampPrefetch(ctx, dop, spec.prefetch_depth)));
-    }
-    WatchCompletion(ctx.sim, jobs.back()->latch(), &finish_times[i]);
+    jobs.push_back(StartScan(ctx, specs[i]));
+    WatchCompletion(ctx.sim, jobs.back()->done(), &finish_times[i]);
   }
   ctx.sim.Run();
 
@@ -705,10 +718,10 @@ std::vector<ScanResult> RunConcurrentScans(ExecContext& ctx,
   ScanResult mix = measurement.Finish(Aggregate{});
   std::vector<ScanResult> results;
   for (size_t i = 0; i < specs.size(); ++i) {
-    PIOQO_CHECK(jobs[i]->latch().done());
+    PIOQO_CHECK(jobs[i]->done().done());
     PIOQO_CHECK(finish_times[i] >= 0.0);
     ScanResult r = mix;
-    const Aggregate& agg = jobs[i]->agg();
+    const Aggregate& agg = jobs[i]->aggregate();
     r.status = agg.status;
     r.max_c1 = agg.max_c1;
     r.rows_matched = agg.rows_matched;

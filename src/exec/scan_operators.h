@@ -1,19 +1,24 @@
 #ifndef PIOQO_EXEC_SCAN_OPERATORS_H_
 #define PIOQO_EXEC_SCAN_OPERATORS_H_
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "core/cost_constants.h"
 #include "exec/query.h"
 #include "exec/scan_result.h"
 #include "sim/cpu.h"
 #include "sim/simulator.h"
+#include "sim/sync.h"
 #include "storage/btree.h"
 #include "storage/buffer_pool.h"
 #include "storage/table.h"
 
 namespace pioqo::io {
 class DeviceHealthMonitor;
+class QueryContext;
 }  // namespace pioqo::io
 
 namespace pioqo::exec {
@@ -30,6 +35,37 @@ struct ExecContext {
   /// requested (and mid-scan, their effective) degree of parallelism while
   /// the device looks unhealthy. Null disables graceful degradation.
   io::DeviceHealthMonitor* health = nullptr;
+  /// Optional query lifecycle: when set, every page fetch observes the
+  /// query's cancellation token and pin quota, workers poll `CheckAlive()`
+  /// at page/leaf/group granularity, and the query's `queue_depth_share`
+  /// caps the per-worker prefetch depth. Null runs the scan unconditionally.
+  io::QueryContext* query = nullptr;
+};
+
+/// Shared MAX(C1) accumulator (single simulated timeline, so plain fields).
+/// Also carries the scan's failure state: the first error recorded here —
+/// I/O failure or query cancellation — aborts the scan, and every worker
+/// checks `failed()` to switch into drain mode (keep the coordination
+/// protocol alive without touching the device).
+struct ScanAggregate {
+  bool found = false;
+  int32_t max_c1 = 0;
+  uint64_t rows_matched = 0;
+  uint64_t rows_examined = 0;
+  Status status;
+
+  void Accumulate(int32_t c1) {
+    if (!found || c1 > max_c1) {
+      found = true;
+      max_c1 = c1;
+    }
+    ++rows_matched;
+  }
+
+  bool failed() const { return !status.ok(); }
+  void RecordError(const Status& st) {
+    if (status.ok() && !st.ok()) status = st;
+  }
 };
 
 /// Executes a (parallel) full table scan of the paper's query Q and returns
@@ -97,6 +133,27 @@ struct ScanSpec {
 /// repeated in every result.
 std::vector<ScanResult> RunConcurrentScans(ExecContext& ctx,
                                            const std::vector<ScanSpec>& specs);
+
+/// A scan whose coroutines have been spawned but whose completion the
+/// caller observes itself (by `co_await done().Wait()` or by running the
+/// simulator to quiescence). This is the building block the single-scan
+/// drivers, RunConcurrentScans, and the database's admission-controlled
+/// workload runner all share.
+class RunningScan {
+ public:
+  virtual ~RunningScan() = default;
+  /// Counts to zero when every coroutine of the scan has retired — on
+  /// success, failure, and cancellation alike.
+  virtual sim::Latch& done() = 0;
+  virtual const ScanAggregate& aggregate() const = 0;
+};
+
+/// Spawns the scan described by `spec` at the current simulated instant and
+/// returns immediately. Applies the health monitor's DOP clamp, the pool-
+/// capacity prefetch clamp, and (when `ctx.query` is set) the query's
+/// `queue_depth_share` prefetch cap. The scan's coroutines reference `ctx`
+/// and the returned object: both must outlive the scan's completion.
+std::unique_ptr<RunningScan> StartScan(ExecContext& ctx, const ScanSpec& spec);
 
 }  // namespace pioqo::exec
 

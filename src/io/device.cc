@@ -7,7 +7,21 @@
 
 namespace pioqo::io {
 
-void Device::Submit(const IoRequest& req, CompletionFn done) {
+uint64_t Device::Submit(const IoRequest& req, CompletionFn done,
+                        QueryContext* query) {
+  const uint64_t id = next_request_id_++;
+  if (query != nullptr) {
+    Status alive = query->CheckAlive();
+    if (!alive.ok()) {
+      // A dead query's request never enters the device queue; complete it
+      // asynchronously with the cancellation reason instead.
+      sim_.ScheduleAfter(0.0, [done = std::move(done),
+                               alive = std::move(alive)] {
+        done(IoResult{alive, 0.0});
+      });
+      return id;
+    }
+  }
   const bool is_read = req.kind == IoRequest::Kind::kRead;
   const sim::SimTime submit_time = sim_.Now();
   if (trace_sink_ != nullptr) {
@@ -42,9 +56,19 @@ void Device::Submit(const IoRequest& req, CompletionFn done) {
                              rejected = std::move(rejected)] {
       wrapped(IoResult{rejected, 0.0});
     });
-    return;
+    return id;
   }
-  SubmitImpl(req, std::move(wrapped));
+  SubmitImpl(id, req, std::move(wrapped));
+  return id;
+}
+
+bool Device::Cancel(uint64_t id) {
+  if (!CancelImpl(id)) return false;
+  // The subclass dropped the request (its wrapped completion — and so the
+  // caller's callback — was destroyed unfired); balance the queue-slot
+  // accounting that RecordSubmit opened.
+  stats_.RecordCancelled(sim_.Now());
+  return true;
 }
 
 }  // namespace pioqo::io

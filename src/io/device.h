@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "io/device_stats.h"
 #include "io/io_request.h"
+#include "io/query_context.h"
 #include "sim/sim_checks.h"
 #include "sim/simulator.h"
 
@@ -50,7 +51,26 @@ class Device {
   Device& operator=(const Device&) = delete;
 
   /// Submits `req`; `done` fires once at completion time with the result.
-  void Submit(const IoRequest& req, CompletionFn done);
+  /// Returns the request id usable with `Cancel`.
+  ///
+  /// When `query` is given and already cancelled, the request never enters
+  /// the device queue (no stats, no trace): `done` fires asynchronously
+  /// with the cancellation status instead.
+  uint64_t Submit(const IoRequest& req, CompletionFn done,
+                  QueryContext* query = nullptr);
+
+  /// Attempts to reclaim request `id` before it is serviced. Returns true
+  /// if the request was dropped: its completion is guaranteed never to fire,
+  /// its queue slot is released, and it is counted in
+  /// `stats().cancelled_requests()`. Returns false when the request already
+  /// completed or is beyond recall (actively being serviced, fanned out to
+  /// RAID members); its completion — if it has one — arrives normally.
+  ///
+  /// Contract: only cancel a request whose completion you no longer await
+  /// directly (e.g. after failing its waiters through a timeout path) —
+  /// coroutines suspended in `IoAwaiter` must never have their request
+  /// cancelled, as their resume would be lost with the dropped callback.
+  bool Cancel(uint64_t id);
 
   virtual uint64_t capacity_bytes() const = 0;
   virtual std::string name() const = 0;
@@ -104,8 +124,16 @@ class Device {
   explicit Device(sim::Simulator& sim) : sim_(sim) {}
 
   /// Models the device-specific service of `req`; must eventually invoke
-  /// `done` (exactly once) via the simulator with the service outcome.
-  virtual void SubmitImpl(const IoRequest& req, CompletionFn done) = 0;
+  /// `done` (exactly once) via the simulator with the service outcome —
+  /// unless the request is reclaimed via `CancelImpl(id)` first, in which
+  /// case `done` must be destroyed without being called.
+  virtual void SubmitImpl(uint64_t id, const IoRequest& req,
+                          CompletionFn done) = 0;
+
+  /// Drops request `id` if this device can still guarantee its completion
+  /// will never fire (e.g. it is waiting in an admission/NCQ queue). The
+  /// default declines every cancellation.
+  virtual bool CancelImpl(uint64_t /*id*/) { return false; }
 
   sim::Simulator& sim_;
 
@@ -113,6 +141,7 @@ class Device {
   DeviceStats stats_;
   std::vector<TraceEntry>* trace_sink_ = nullptr;
   CompletionObserver observer_;
+  uint64_t next_request_id_ = 1;
 };
 
 }  // namespace pioqo::io

@@ -32,6 +32,12 @@ void DeviceStats::RecordComplete(sim::SimTime now, bool is_read, uint64_t bytes,
   latency_.Add(latency_us);
 }
 
+void DeviceStats::RecordCancelled(sim::SimTime now) {
+  --outstanding_;
+  queue_depth_.Update(now, outstanding_);
+  ++cancelled_requests_;
+}
+
 void DeviceStats::Reset() { *this = DeviceStats(); }
 
 double DeviceStats::AverageQueueDepth(sim::SimTime now) const {

@@ -28,6 +28,11 @@ class DeviceStats {
   void RecordComplete(sim::SimTime now, bool is_read, uint64_t bytes,
                       double latency_us, bool ok = true);
 
+  /// A request reclaimed by `Device::Cancel` before it was serviced: it
+  /// balances the outstanding count (the queue slot is free again) but is
+  /// neither an error nor a completed transfer.
+  void RecordCancelled(sim::SimTime now);
+
   /// Fault-path accounting.
   void RecordErrorInjected() { ++errors_injected_; }
   void RecordRetry() { ++retries_; }
@@ -54,6 +59,8 @@ class DeviceStats {
   uint64_t timeouts() const { return timeouts_; }
   /// Times the health monitor clamped a scan's parallel degree.
   uint64_t degraded_clamps() const { return degraded_clamps_; }
+  /// Requests reclaimed via Device::Cancel before being serviced.
+  uint64_t cancelled_requests() const { return cancelled_requests_; }
 
   /// Time of first submit / last completion in the interval.
   sim::SimTime first_activity() const { return first_activity_; }
@@ -77,6 +84,7 @@ class DeviceStats {
   uint64_t retries_ = 0;
   uint64_t timeouts_ = 0;
   uint64_t degraded_clamps_ = 0;
+  uint64_t cancelled_requests_ = 0;
   int64_t outstanding_ = 0;
   bool active_ = false;
   sim::SimTime first_activity_ = 0.0;

@@ -12,10 +12,11 @@ const FaultPhase* FaultInjectingDevice::ActivePhase() const {
   return nullptr;
 }
 
-void FaultInjectingDevice::SubmitImpl(const IoRequest& req, CompletionFn done) {
+void FaultInjectingDevice::SubmitImpl(uint64_t id, const IoRequest& req,
+                                      CompletionFn done) {
   if (!config_.enabled) {
     // Zero-cost passthrough: no RNG draw, no extra event.
-    inner_.Submit(req, std::move(done));
+    Passthrough(id, req, std::move(done));
     return;
   }
   const FaultPhase* phase = ActivePhase();
@@ -31,9 +32,12 @@ void FaultInjectingDevice::SubmitImpl(const IoRequest& req, CompletionFn done) {
 
   if (stuck_roll < config_.stuck_prob) {
     // Swallowed: `done` is dropped and the inner device never sees the
-    // request. Only a caller-side timeout deadline can recover.
+    // request. The id is remembered so a caller-side timeout can Cancel the
+    // request and reclaim its queue slot; without that, only the deadline
+    // recovers the *waiters* while the slot stays occupied forever.
     ++total_injected_;
     stats().RecordErrorInjected();
+    stuck_ids_.insert(id);
     return;
   }
 
@@ -55,7 +59,7 @@ void FaultInjectingDevice::SubmitImpl(const IoRequest& req, CompletionFn done) {
 
   const double spike_us = spike_roll < config_.spike_prob ? config_.spike_us : 0.0;
   if (spike_us == 0.0 && latency_mult == 1.0) {
-    inner_.Submit(req, std::move(done));
+    Passthrough(id, req, std::move(done));
     return;
   }
   // Served normally, completion delayed: by the spike, and/or by the phase's
@@ -71,6 +75,31 @@ void FaultInjectingDevice::SubmitImpl(const IoRequest& req, CompletionFn done) {
     }
     sim_.ScheduleAfter(delay, [done, result] { done(result); });
   });
+}
+
+void FaultInjectingDevice::Passthrough(uint64_t id, const IoRequest& req,
+                                       CompletionFn done) {
+  // Track outer id -> inner id so CancelImpl can chase the request into the
+  // inner device's queues while it waits there.
+  const uint64_t inner_id =
+      inner_.Submit(req, [this, id, done = std::move(done)](
+                             const IoResult& result) {
+        forwarded_.erase(id);
+        done(result);
+      });
+  forwarded_.emplace(id, inner_id);
+}
+
+bool FaultInjectingDevice::CancelImpl(uint64_t id) {
+  if (stuck_ids_.erase(id) > 0) return true;
+  auto it = forwarded_.find(id);
+  if (it == forwarded_.end()) return false;
+  // The inner Cancel destroys the wrapped completion (and with it the
+  // caller's `done`) when it succeeds; the inner device records its own
+  // cancelled_requests too.
+  if (!inner_.Cancel(it->second)) return false;
+  forwarded_.erase(it);
+  return true;
 }
 
 }  // namespace pioqo::io

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
@@ -84,16 +86,35 @@ class FaultInjectingDevice : public Device {
   /// measurement interval, but run summaries want the whole story.
   uint64_t total_injected() const { return total_injected_; }
 
+  /// Stuck requests currently occupying a queue slot (injected, not yet
+  /// reclaimed by Cancel).
+  size_t stuck_outstanding() const { return stuck_ids_.size(); }
+
  protected:
-  void SubmitImpl(const IoRequest& req, CompletionFn done) override;
+  void SubmitImpl(uint64_t id, const IoRequest& req,
+                  CompletionFn done) override;
+  /// Reclaims a stuck request (whose completion would otherwise never fire,
+  /// leaving its queue slot occupied forever), or forwards the cancel to
+  /// the inner device for a passthrough submission still waiting in the
+  /// inner queue. Delayed (spike/phase/error) submissions already have a
+  /// completion in flight and cannot be cancelled.
+  bool CancelImpl(uint64_t id) override;
 
  private:
   const FaultPhase* ActivePhase() const;
+  /// Forwards to the inner device, keeping the id mapping for Cancel.
+  void Passthrough(uint64_t id, const IoRequest& req, CompletionFn done);
 
   Device& inner_;
   FaultConfig config_;
   Pcg32 rng_;
   uint64_t total_injected_ = 0;
+  /// Ids of injected stuck requests, reclaimable via Cancel.
+  std::unordered_set<uint64_t> stuck_ids_;
+  /// Outer id -> inner id for passthrough submissions, so a Cancel can
+  /// chase the request into the wrapped device's queues. Entries are erased
+  /// when the inner completion fires.
+  std::unordered_map<uint64_t, uint64_t> forwarded_;
 };
 
 }  // namespace pioqo::io

@@ -51,9 +51,20 @@ double HddDevice::ServiceTimeUs(const IoRequest& req, uint64_t head_pos,
   return overhead + positioning + transfer;
 }
 
-void HddDevice::SubmitImpl(const IoRequest& req, CompletionFn done) {
-  queue_.push_back(Pending{req, std::move(done)});
+void HddDevice::SubmitImpl(uint64_t id, const IoRequest& req,
+                           CompletionFn done) {
+  queue_.push_back(Pending{id, req, std::move(done)});
   StartNext();
+}
+
+bool HddDevice::CancelImpl(uint64_t id) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->id == id) {
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
 }
 
 void HddDevice::StartNext() {

@@ -65,11 +65,16 @@ class HddDevice : public Device {
 
  private:
   struct Pending {
+    uint64_t id;
     IoRequest req;
     CompletionFn done;
   };
 
-  void SubmitImpl(const IoRequest& req, CompletionFn done) override;
+  void SubmitImpl(uint64_t id, const IoRequest& req,
+                  CompletionFn done) override;
+  /// A command still waiting in the NCQ queue can be dropped; one being
+  /// serviced (or already completed) cannot.
+  bool CancelImpl(uint64_t id) override;
   void StartNext();
   void StartService(Pending p);
 

@@ -1,0 +1,106 @@
+#ifndef PIOQO_IO_QUERY_CONTEXT_H_
+#define PIOQO_IO_QUERY_CONTEXT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/simulator.h"
+
+namespace pioqo::io {
+
+/// Per-query lifecycle state, threaded from `Database::ExecuteQuery` down
+/// through the operators, the buffer pool, and `Device::Submit`: a deadline,
+/// a cooperative cancellation token, and the query's resource budgets.
+///
+/// The context lives in the query's lifecycle coroutine frame and must
+/// outlive every operator/pool interaction of that query. It is a *token*,
+/// not a scheduler: cancellation is cooperative — operators poll
+/// `CheckAlive()` at page granularity and unwind through their normal drain
+/// protocol, and the buffer pool registers a `CancelListener` per suspended
+/// fetch so waiters are failed the instant the query dies.
+///
+/// Determinism: a context with no deadline and no cancellation schedules no
+/// simulator events and draws no randomness, so carrying one through a
+/// healthy query leaves the trace hash bit-identical to not having it.
+class QueryContext {
+ public:
+  /// Notified exactly once, synchronously from `Cancel`, when the query
+  /// transitions to cancelled. Listener callbacks may mutate their own
+  /// bookkeeping and schedule event-queue resumes, but must never resume a
+  /// coroutine inline (the cancel may originate deep inside another frame).
+  class CancelListener {
+   public:
+    virtual void OnQueryCancelled(const Status& reason) = 0;
+
+   protected:
+    ~CancelListener() = default;
+  };
+
+  explicit QueryContext(sim::Simulator& sim) : sim_(sim) {}
+  ~QueryContext();
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  /// Arms (or re-arms) an absolute simulated-time deadline. When it passes,
+  /// the query is cancelled with `kDeadlineExceeded`. The deadline event is
+  /// cancellable, so a query that finishes in time leaves no trace of it.
+  void SetDeadline(sim::SimTime deadline_us);
+  bool has_deadline() const { return deadline_armed_ || deadline_us_ >= 0.0; }
+  sim::SimTime deadline_us() const { return deadline_us_; }
+
+  /// Cancels the query with `reason` (must be non-OK). Idempotent: the
+  /// first reason wins. Disarms the deadline and notifies every listener.
+  void Cancel(Status reason);
+
+  bool cancelled() const { return !state_.ok(); }
+  const Status& cancel_status() const { return state_; }
+
+  /// The cooperative poll point: OK while the query may continue, else the
+  /// cancellation reason (`kCancelled` or `kDeadlineExceeded`). Also lazily
+  /// converts an already-passed deadline into cancellation, so CPU-bound
+  /// stretches notice expiry without waiting for the deadline event.
+  Status CheckAlive();
+
+  /// --- Resource budgets -------------------------------------------------
+  /// Zero means unlimited; budgets are advisory shares, enforced by the
+  /// layer that owns the resource (buffer pool for pins, scan drivers for
+  /// prefetch depth).
+
+  /// Maximum frames this query may hold pinned at once.
+  int pinned_frame_quota = 0;
+  /// This query's share of the device queue depth: scan operators clamp
+  /// their per-worker prefetch depth to it so one query cannot monopolize
+  /// the device's NCQ slots.
+  int queue_depth_share = 0;
+
+  /// Charges one pinned frame against the quota; `kResourceExhausted` when
+  /// the quota is spent. Called by the buffer pool on every pin it takes on
+  /// the query's behalf (including suspend-time pins).
+  Status TryPin();
+  void OnUnpin();
+  int pinned_frames() const { return pinned_frames_; }
+  uint64_t quota_rejections() const { return quota_rejections_; }
+
+  void AddCancelListener(CancelListener* listener);
+  void RemoveCancelListener(CancelListener* listener);
+  size_t num_cancel_listeners() const { return listeners_.size(); }
+
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  void DisarmDeadline();
+
+  sim::Simulator& sim_;
+  Status state_;  // OK while alive; the cancellation reason afterwards.
+  sim::SimTime deadline_us_ = -1.0;
+  bool deadline_armed_ = false;
+  uint64_t deadline_token_ = 0;
+  int pinned_frames_ = 0;
+  uint64_t quota_rejections_ = 0;
+  std::vector<CancelListener*> listeners_;
+};
+
+}  // namespace pioqo::io
+
+#endif  // PIOQO_IO_QUERY_CONTEXT_H_

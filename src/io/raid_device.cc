@@ -23,7 +23,9 @@ RaidDevice::RaidDevice(sim::Simulator& sim, int num_members, HddGeometry member,
   }
 }
 
-void RaidDevice::SubmitImpl(const IoRequest& req, CompletionFn done) {
+void RaidDevice::SubmitImpl(uint64_t id, const IoRequest& req,
+                            CompletionFn done) {
+  (void)id;
   // Split at chunk boundaries and fan out to members. The shared counter
   // fires the completion when the last piece lands; if any member piece
   // fails, the request as a whole fails with the first member error.

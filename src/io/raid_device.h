@@ -32,7 +32,11 @@ class RaidDevice : public Device {
   const HddDevice& member(int i) const { return *members_[static_cast<size_t>(i)]; }
 
  private:
-  void SubmitImpl(const IoRequest& req, CompletionFn done) override;
+  /// Pieces fan out to the member devices immediately, so a RAID request is
+  /// beyond recall the moment it is submitted: CancelImpl keeps the base
+  /// class's always-false default.
+  void SubmitImpl(uint64_t id, const IoRequest& req,
+                  CompletionFn done) override;
 
   uint64_t chunk_bytes_;
   uint64_t capacity_bytes_;

@@ -43,13 +43,25 @@ double SsdDevice::FtlAccess(uint64_t offset) {
   return geometry_.ftl_miss_us;
 }
 
-void SsdDevice::SubmitImpl(const IoRequest& req, CompletionFn done) {
-  auto* cmd = new Command{req, std::move(done), 0};
+void SsdDevice::SubmitImpl(uint64_t id, const IoRequest& req,
+                           CompletionFn done) {
+  auto* cmd = new Command{id, req, std::move(done), 0};
   if (active_commands_ < geometry_.ncq_slots) {
     Admit(cmd);
   } else {
     admission_queue_.push_back(cmd);
   }
+}
+
+bool SsdDevice::CancelImpl(uint64_t id) {
+  for (auto it = admission_queue_.begin(); it != admission_queue_.end(); ++it) {
+    if ((*it)->id == id) {
+      delete *it;
+      admission_queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
 }
 
 void SsdDevice::Admit(Command* cmd) {

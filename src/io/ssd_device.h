@@ -83,6 +83,7 @@ class SsdDevice : public Device {
 
  private:
   struct Command {
+    uint64_t id;
     IoRequest req;
     CompletionFn done;
     int chunks_remaining = 0;
@@ -93,7 +94,11 @@ class SsdDevice : public Device {
     double extra_us;  // per-command overheads charged on the first chunk
   };
 
-  void SubmitImpl(const IoRequest& req, CompletionFn done) override;
+  void SubmitImpl(uint64_t id, const IoRequest& req,
+                  CompletionFn done) override;
+  /// A command still waiting for an NCQ slot in the admission queue can be
+  /// dropped; one the controller already admitted cannot.
+  bool CancelImpl(uint64_t id) override;
   void Admit(Command* cmd);
   void UnitMaybeStart(int unit);
   void BusMaybeStart();

@@ -19,6 +19,10 @@ BufferPool::BufferPool(DiskImage& disk, uint32_t capacity_pages,
 }
 
 BufferPool::FetchAwaiter::~FetchAwaiter() {
+  if (listening_) {
+    query_->RemoveCancelListener(this);
+    listening_ = false;
+  }
   // Self-unregistration: if the waiting coroutine is destroyed before the
   // load resolves, drop out of the frame's waiter list and release the
   // suspend-time pin so the frame can still be evicted later.
@@ -31,12 +35,35 @@ BufferPool::FetchAwaiter::~FetchAwaiter() {
   f.waiters.erase(w);
   sim::checks::OnWaiterUnregistered(handle_.address());
   if (f.pin_count > 0) --f.pin_count;
+  if (counted_pin_) {
+    query_->OnUnpin();
+    counted_pin_ = false;
+  }
 }
 
 bool BufferPool::FetchAwaiter::await_ready() {
   ++pool_.stats_.fetches;
+  if (query_ != nullptr) {
+    // Cooperative cancellation: a dead query's fetch resolves immediately
+    // with the cancellation reason, before touching pool state.
+    Status alive = query_->CheckAlive();
+    if (!alive.ok()) {
+      ++pool_.stats_.fetch_errors;
+      status_ = std::move(alive);
+      return true;
+    }
+  }
   auto it = pool_.frames_.find(pid_);
   if (it != pool_.frames_.end() && it->second.state == FrameState::kReady) {
+    if (query_ != nullptr) {
+      Status quota = query_->TryPin();
+      if (!quota.ok()) {
+        ++pool_.stats_.fetch_errors;
+        status_ = std::move(quota);
+        return true;
+      }
+      counted_pin_ = true;
+    }
     // Hit: pin immediately, no suspension.
     Frame& f = it->second;
     ++pool_.stats_.hits;
@@ -53,14 +80,29 @@ bool BufferPool::FetchAwaiter::await_ready() {
 
 bool BufferPool::FetchAwaiter::await_suspend(std::coroutine_handle<> h) {
   ++pool_.stats_.misses;
+  if (query_ != nullptr) {
+    // The suspend-time pin counts against the quota too: it is a real frame
+    // the query keeps un-evictable while it waits.
+    Status quota = query_->TryPin();
+    if (!quota.ok()) {
+      ++pool_.stats_.fetch_errors;
+      status_ = std::move(quota);
+      return false;
+    }
+    counted_pin_ = true;
+  }
   auto it = pool_.frames_.find(pid_);
   if (it == pool_.frames_.end()) {
-    Status st = pool_.StartRead(pid_, 1, /*prefetch=*/false);
+    Status st = pool_.StartRead(pid_, 1, /*prefetch=*/false, query_);
     if (!st.ok()) {
       // No frame available: resolve immediately with the error instead of
       // suspending (the old pool aborted the process here).
       ++pool_.stats_.fetch_errors;
       status_ = std::move(st);
+      if (counted_pin_) {
+        query_->OnUnpin();
+        counted_pin_ = false;
+      }
       return false;
     }
     it = pool_.frames_.find(pid_);
@@ -75,13 +117,25 @@ bool BufferPool::FetchAwaiter::await_suspend(std::coroutine_handle<> h) {
   // Pin at suspend time: a waiter resumed earlier could otherwise evict the
   // page (via its own fetches) before this waiter runs.
   ++it->second.pin_count;
+  if (query_ != nullptr) {
+    query_->AddCancelListener(this);
+    listening_ = true;
+  }
   return true;
 }
 
 BufferPool::PageRef BufferPool::FetchAwaiter::await_resume() {
+  if (listening_) {
+    query_->RemoveCancelListener(this);
+    listening_ = false;
+  }
   if (!status_.ok()) {
     // Failed load: the loading frame (and with it this fetch's pin) is
     // already gone; the caller must not Unpin.
+    if (counted_pin_) {
+      query_->OnUnpin();
+      counted_pin_ = false;
+    }
     return PageRef{nullptr, false, status_};
   }
   auto it = pool_.frames_.find(pid_);
@@ -89,17 +143,46 @@ BufferPool::PageRef BufferPool::FetchAwaiter::await_resume() {
               it->second.state == FrameState::kReady)
       << "page " << pid_ << " not resident after fetch";
   Frame& f = it->second;
-  // Hit path pinned in await_ready; miss path pinned in await_suspend.
+  // Hit path pinned in await_ready; miss path pinned in await_suspend. The
+  // quota pin (counted_pin_) stays charged until Unpin(pid, query).
   PIOQO_CHECK(f.pin_count > 0);
   return PageRef{f.data, was_hit_, Status::OK()};
 }
 
-void BufferPool::Unpin(PageId pid) {
+void BufferPool::FetchAwaiter::OnQueryCancelled(const Status& reason) {
+  // The QueryContext already dropped us from its listener list.
+  listening_ = false;
+  PIOQO_CHECK(registered_);
+  auto it = pool_.frames_.find(pid_);
+  PIOQO_CHECK(it != pool_.frames_.end());
+  Frame& f = it->second;
+  auto w = std::find(f.waiters.begin(), f.waiters.end(), this);
+  PIOQO_CHECK(w != f.waiters.end());
+  f.waiters.erase(w);
+  registered_ = false;
+  sim::checks::OnWaiterUnregistered(handle_.address());
+  PIOQO_CHECK(f.pin_count > 0);
+  --f.pin_count;
+  if (counted_pin_) {
+    query_->OnUnpin();
+    counted_pin_ = false;
+  }
+  status_ = reason;
+  ++pool_.stats_.cancelled_fetches;
+  ++pool_.stats_.fetch_errors;
+  pool_.OnWaiterCancelled(pid_, query_);
+  // Resume through the event queue: this callback runs synchronously inside
+  // Cancel(), possibly deep in another coroutine's frame.
+  sim::ScheduleResume(pool_.disk_.device().simulator(), 0.0, handle_);
+}
+
+void BufferPool::Unpin(PageId pid, io::QueryContext* query) {
   auto it = frames_.find(pid);
   PIOQO_CHECK(it != frames_.end()) << "unpin of non-resident page " << pid;
   Frame& f = it->second;
   PIOQO_CHECK(f.pin_count > 0) << "unpin of unpinned page " << pid;
   if (--f.pin_count == 0) AddToLru(f);
+  if (query != nullptr) query->OnUnpin();
 }
 
 void BufferPool::Prefetch(PageId pid) {
@@ -179,8 +262,10 @@ bool BufferPool::EnsureCapacity() {
   return true;
 }
 
-Status BufferPool::StartRead(PageId first, uint32_t count, bool prefetch) {
+Status BufferPool::StartRead(PageId first, uint32_t count, bool prefetch,
+                             io::QueryContext* originator) {
   PIOQO_CHECK(count >= 1);
+  const uint64_t read_id = next_read_id_++;
   uint32_t created = 0;
   for (uint32_t i = 0; i < count; ++i) {
     if (!EnsureCapacity()) break;
@@ -188,6 +273,7 @@ Status BufferPool::StartRead(PageId first, uint32_t count, bool prefetch) {
     f.pid = first + i;
     f.state = FrameState::kLoading;
     f.from_prefetch = prefetch;
+    f.read_id = read_id;
     frames_.emplace(first + i, std::move(f));
     ++created;
   }
@@ -209,12 +295,50 @@ Status BufferPool::StartRead(PageId first, uint32_t count, bool prefetch) {
   ++stats_.device_reads;
   stats_.pages_read += count;
   if (prefetch) stats_.prefetch_read += count;
-  const uint64_t read_id = next_read_id_++;
-  inflight_.emplace(read_id,
-                    InflightRead{first, count, prefetch, /*attempt=*/1,
-                                 /*has_deadline=*/false, /*deadline_token=*/0});
+  InflightRead r;
+  r.first = first;
+  r.count = count;
+  r.prefetch = prefetch;
+  r.originator = prefetch ? nullptr : originator;
+  inflight_.emplace(read_id, r);
   IssueAttempt(read_id);
   return Status::OK();
+}
+
+void BufferPool::OnWaiterCancelled(PageId pid, io::QueryContext* query) {
+  auto fit = frames_.find(pid);
+  if (fit == frames_.end() || fit->second.state != FrameState::kLoading) return;
+  Frame& f = fit->second;
+  auto it = inflight_.find(f.read_id);
+  PIOQO_CHECK(it != inflight_.end());
+  InflightRead& r = it->second;
+  if (r.originator != query) return;  // started by (or handed to) another query
+  if (!f.waiters.empty()) {
+    // Someone else still wants the page: the read survives its originator.
+    r.originator = nullptr;
+    return;
+  }
+  PIOQO_CHECK(f.pin_count == 0);
+  if (!disk_.device().Cancel(r.device_request_id)) {
+    // Already being serviced (or waiting out a retry backoff): let it land
+    // as an unpinned resident page, exactly like a prefetch.
+    r.originator = nullptr;
+    return;
+  }
+  // Reclaimed before service: drop the loading frames and the inflight
+  // entry; the cancelled completion will never fire.
+  if (r.has_deadline) disk_.device().simulator().Cancel(r.deadline_token);
+  const PageId first = r.first;
+  const uint32_t count = r.count;
+  inflight_.erase(it);
+  for (uint32_t i = 0; i < count; ++i) {
+    auto dit = frames_.find(first + i);
+    PIOQO_CHECK(dit != frames_.end() &&
+                dit->second.state == FrameState::kLoading &&
+                dit->second.waiters.empty() && dit->second.pin_count == 0);
+    frames_.erase(dit);
+  }
+  ++stats_.cancelled_reads;
 }
 
 void BufferPool::IssueAttempt(uint64_t read_id) {
@@ -231,7 +355,7 @@ void BufferPool::IssueAttempt(uint64_t read_id) {
         options_.retry.timeout_us,
         [this, read_id, attempt] { OnDeadline(read_id, attempt); });
   }
-  disk_.device().Submit(
+  r.device_request_id = disk_.device().Submit(
       io::IoRequest{io::IoRequest::Kind::kRead, disk_.OffsetOf(r.first),
                     r.count * kPageSize},
       [this, read_id, attempt](const io::IoResult& result) {
@@ -286,6 +410,11 @@ void BufferPool::OnDeadline(uint64_t read_id, int attempt) {
   r.has_deadline = false;  // this deadline just fired
   ++stats_.timeouts;
   disk_.device().stats().RecordTimeout();
+  // Try to reclaim the queue slot the abandoned attempt occupies — the
+  // recovery path for a *stuck* request, which otherwise pins a device
+  // slot forever. False just means the request is genuinely in service
+  // (merely slow); its late completion will be discarded as stale.
+  disk_.device().Cancel(r.device_request_id);
   // Bumping `attempt` in the retry path (or erasing the entry in the fail
   // path) makes any late completion of this attempt stale.
   HandleFailure(read_id,

@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "io/query_context.h"
 #include "io/retry_policy.h"
 #include "storage/disk_image.h"
 #include "storage/page.h"
@@ -31,6 +32,8 @@ struct BufferPoolStats {
   uint64_t timeouts = 0;          // attempts abandoned by the deadline
   uint64_t failed_loads = 0;      // reads that exhausted every attempt
   uint64_t fetch_errors = 0;      // fetches resolved with a non-OK status
+  uint64_t cancelled_fetches = 0; // fetch waiters failed by query cancellation
+  uint64_t cancelled_reads = 0;   // device reads reclaimed after their query died
 };
 
 /// Retry/timeout configuration for the pool's device reads. The defaults
@@ -83,9 +86,10 @@ class BufferPool {
     bool ok() const { return status.ok(); }
   };
 
-  class FetchAwaiter {
+  class FetchAwaiter : public io::QueryContext::CancelListener {
    public:
-    FetchAwaiter(BufferPool& pool, PageId pid) : pool_(pool), pid_(pid) {}
+    FetchAwaiter(BufferPool& pool, PageId pid, io::QueryContext* query)
+        : pool_(pool), pid_(pid), query_(query) {}
     /// Self-unregisters (and releases the suspend-time pin) if the waiting
     /// coroutine is destroyed before the load resolves.
     ~FetchAwaiter();
@@ -100,20 +104,33 @@ class BufferPool {
 
    private:
     friend class BufferPool;
+    /// Query died while this fetch was suspended: detach from the frame,
+    /// release every pin, fail with the cancellation reason, and resume via
+    /// the event queue (never inline — the cancel may originate anywhere).
+    void OnQueryCancelled(const Status& reason) override;
+
     BufferPool& pool_;
     PageId pid_;
+    io::QueryContext* query_;
     std::coroutine_handle<> handle_;
     Status status_;
     bool was_hit_ = false;
-    bool registered_ = false;  // currently in a frame's waiter list
+    bool registered_ = false;   // currently in a frame's waiter list
+    bool counted_pin_ = false;  // pin charged against the query's quota
+    bool listening_ = false;    // registered as the query's cancel listener
   };
 
   /// Awaitable: resumes when the fetch of page `pid` resolves (success or
-  /// failure — check `PageRef::ok()`).
-  FetchAwaiter Fetch(PageId pid) { return FetchAwaiter(*this, pid); }
+  /// failure — check `PageRef::ok()`). With a `query`, the fetch observes
+  /// its cancellation token, charges the pin against its quota, and is
+  /// failed (with pins released) the instant the query is cancelled.
+  FetchAwaiter Fetch(PageId pid, io::QueryContext* query = nullptr) {
+    return FetchAwaiter(*this, pid, query);
+  }
 
-  /// Releases one pin taken by a *successful* Fetch.
-  void Unpin(PageId pid);
+  /// Releases one pin taken by a *successful* Fetch. Pass the same `query`
+  /// the Fetch carried so its quota accounting balances.
+  void Unpin(PageId pid, io::QueryContext* query = nullptr);
 
   /// Starts an asynchronous read of `pid` if it is neither resident nor in
   /// flight; never blocks the caller. The page lands unpinned. Best-effort:
@@ -158,6 +175,8 @@ class BufferPool {
     uint32_t pin_count = 0;
     bool from_prefetch = false;
     std::vector<FetchAwaiter*> waiters;
+    /// The read loading this frame; valid only while state == kLoading.
+    uint64_t read_id = 0;
     // Valid only when state == kReady and pin_count == 0.
     std::list<PageId>::iterator lru_it;
     bool in_lru = false;
@@ -174,6 +193,12 @@ class BufferPool {
     int attempt = 1;
     bool has_deadline = false;
     uint64_t deadline_token = 0;
+    /// Device request id of the current attempt, for Device::Cancel —
+    /// the reclamation path for stuck requests and dead queries' reads.
+    uint64_t device_request_id = 0;
+    /// The query a (non-prefetch) fetch read was started for; cleared when
+    /// other queries' waiters join or survive it. Null for prefetch reads.
+    io::QueryContext* originator = nullptr;
   };
 
   /// Makes room for one more frame, evicting the LRU unpinned page if at
@@ -184,7 +209,13 @@ class BufferPool {
   /// read. For a fetch (count == 1, !prefetch) fails with
   /// kResourceExhausted when no frame is free; for a prefetch the block is
   /// truncated to the frames available (possibly to nothing).
-  Status StartRead(PageId first, uint32_t count, bool prefetch);
+  Status StartRead(PageId first, uint32_t count, bool prefetch,
+                   io::QueryContext* originator = nullptr);
+  /// A cancelled query's waiter detached from `pid`'s loading frame: if the
+  /// read was started for that query and nobody else waits on it, try to
+  /// reclaim the queued device request (else let it land as an unpinned
+  /// resident page, like a prefetch).
+  void OnWaiterCancelled(PageId pid, io::QueryContext* query);
   /// Submits the device read for the inflight entry's current attempt and
   /// arms the deadline if the retry policy has one.
   void IssueAttempt(uint64_t read_id);
