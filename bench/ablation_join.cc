@@ -56,7 +56,7 @@ void RunDevice(pioqo::io::DeviceKind kind, double scale) {
               "avg qd");
   double base = 0.0;
   for (int dop : {1, 2, 4, 8, 16, 32}) {
-    pool.Clear();
+    PIOQO_CHECK_OK(pool.Clear());
     auto result = exec::RunIndexNestedLoopJoin(
         ctx, outer->table, inner->table, inner->index_c2, pred, dop);
     if (dop == 1) base = result.runtime_us;

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "io/device_factory.h"
 #include "sim/simulator.h"
@@ -35,7 +36,7 @@ double MeasureSequential(sim::Simulator& sim, Device& device) {
                     });
     }
   };
-  reader();
+  reader().Detach();
   sim.Run();
   return device.stats().ThroughputMbps();
 }
@@ -47,12 +48,12 @@ double MeasureRandom(sim::Simulator& sim, Device& device, int qd, int reads) {
     Pcg32 rng(seed);
     const uint64_t pages = device.capacity_bytes() / storage::kPageSize;
     for (int i = 0; i < reads; ++i) {
-      co_await device.Read(rng.UniformBelow(pages) * storage::kPageSize,
-                           storage::kPageSize);
+      PIOQO_CHECK_OK(co_await device.Read(
+          rng.UniformBelow(pages) * storage::kPageSize, storage::kPageSize));
     }
     done.CountDown();
   };
-  for (int t = 0; t < qd; ++t) worker(1000 + static_cast<uint64_t>(t));
+  for (int t = 0; t < qd; ++t) worker(1000 + static_cast<uint64_t>(t)).Detach();
   sim.Run();
   return device.stats().ThroughputMbps();
 }

@@ -28,8 +28,9 @@ pioqo::sim::Task Workload(pioqo::sim::Simulator& sim,
   const uint64_t pages = device.capacity_bytes() / pioqo::storage::kPageSize;
   for (int b = 0; b < bursts; ++b) {
     for (int i = 0; i < 50; ++i) {
-      co_await device.Read(rng.UniformBelow(pages) * pioqo::storage::kPageSize,
-                           pioqo::storage::kPageSize);
+      PIOQO_CHECK_OK(co_await device.Read(
+          rng.UniformBelow(pages) * pioqo::storage::kPageSize,
+          pioqo::storage::kPageSize));
     }
     co_await pioqo::sim::Delay(sim, think_us);
   }
@@ -50,7 +51,7 @@ int main() {
   calibrator.Start();
 
   // Busy phase: bursts every ~15 ms keep the device from ever looking idle.
-  Workload(sim, *ssd, /*bursts=*/50, /*think_us=*/15'000.0);
+  Workload(sim, *ssd, /*bursts=*/50, /*think_us=*/15'000.0).Detach();
 
   // Periodic progress reports.
   for (int t = 1; t <= 12; ++t) {

@@ -33,7 +33,10 @@ std::string_view StatusCodeName(StatusCode code);
 /// `Status` is cheap to copy in the success case (no allocation) and carries
 /// a code plus message otherwise. Use the factory functions
 /// (`Status::InvalidArgument(...)` etc.) to construct errors.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a silently-ignored failure path; the
+/// ERR001 lint rule is the diff-visible twin of this compiler warning.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -92,7 +95,7 @@ class Status {
 /// Either a value of type `T` or an error `Status`. Never holds an OK
 /// status without a value.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit construction from a value or from an error status keeps call
   /// sites terse (`return value;` / `return Status::NotFound(...)`).

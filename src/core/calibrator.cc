@@ -22,10 +22,14 @@ io::IoRequest PageRead(uint64_t page) {
 /// unclaimed page in the sequence.
 sim::Task MultiThreadWorker(io::Device& device,
                             const std::vector<uint64_t>& pages, size_t& next,
-                            sim::Latch& done) {
+                            sim::Latch& done, uint64_t& io_errors) {
   while (next < pages.size()) {
     const uint64_t page = pages[next++];
-    co_await device.Read(page * kPageSize, kPageSize);
+    // A failed probe still took device time, so the point stays usable as a
+    // conservative estimate; the error count tells callers how much of the
+    // sequence actually completed.
+    Status status = co_await device.Read(page * kPageSize, kPageSize);
+    if (!status.ok()) ++io_errors;
   }
   done.CountDown();
 }
@@ -34,14 +38,15 @@ sim::Task MultiThreadWorker(io::Device& device,
 /// them, repeat.
 sim::Task GroupWaitingDriver(sim::Simulator& sim, io::Device& device,
                              const std::vector<uint64_t>& pages, int qd,
-                             sim::Latch& done) {
+                             sim::Latch& done, uint64_t& io_errors) {
   for (size_t i = 0; i < pages.size();) {
     const size_t group = std::min<size_t>(static_cast<size_t>(qd),
                                           pages.size() - i);
     sim::Latch group_done(sim, static_cast<int64_t>(group));
     for (size_t j = 0; j < group; ++j) {
       device.Submit(PageRead(pages[i + j]),
-                    [&group_done](const io::IoResult&) {
+                    [&group_done, &io_errors](const io::IoResult& r) {
+                      if (!r.ok()) ++io_errors;
                       group_done.CountDown();
                     });
     }
@@ -55,7 +60,7 @@ sim::Task GroupWaitingDriver(sim::Simulator& sim, io::Device& device,
 /// read finishes, issue the next read into slot k and move to slot k+1.
 sim::Task ActiveWaitingDriver(sim::Simulator& sim, io::Device& device,
                               const std::vector<uint64_t>& pages, int qd,
-                              sim::Latch& done) {
+                              sim::Latch& done, uint64_t& io_errors) {
   const size_t n = std::min<size_t>(static_cast<size_t>(qd), pages.size());
   std::vector<std::unique_ptr<sim::Event>> slots;
   slots.reserve(n);
@@ -65,7 +70,8 @@ sim::Task ActiveWaitingDriver(sim::Simulator& sim, io::Device& device,
   size_t issued = 0;
   for (; issued < n; ++issued) {
     device.Submit(PageRead(pages[issued]),
-                  [ev = slots[issued].get()](const io::IoResult&) {
+                  [ev = slots[issued].get(), &io_errors](const io::IoResult& r) {
+                    if (!r.ok()) ++io_errors;
                     ev->Set();
                   });
   }
@@ -75,7 +81,10 @@ sim::Task ActiveWaitingDriver(sim::Simulator& sim, io::Device& device,
     slot.Reset();
     if (issued < pages.size()) {
       device.Submit(PageRead(pages[issued]),
-                    [&slot](const io::IoResult&) { slot.Set(); });
+                    [&slot, &io_errors](const io::IoResult& r) {
+                      if (!r.ok()) ++io_errors;
+                      slot.Set();
+                    });
       ++issued;
     }
   }
@@ -158,14 +167,17 @@ sim::Task Calibrator::MeasurePointAsync(uint64_t band_pages, int qd,
   switch (method) {
     case CalibrationMethod::kMultiThread:
       for (int t = 0; t < qd; ++t) {
-        MultiThreadWorker(device_, pages, next, inner);
+        MultiThreadWorker(device_, pages, next, inner, probe_io_errors_)
+            .Detach();
       }
       break;
     case CalibrationMethod::kGroupWaiting:
-      GroupWaitingDriver(sim_, device_, pages, qd, inner);
+      GroupWaitingDriver(sim_, device_, pages, qd, inner, probe_io_errors_)
+          .Detach();
       break;
     case CalibrationMethod::kActiveWaiting:
-      ActiveWaitingDriver(sim_, device_, pages, qd, inner);
+      ActiveWaitingDriver(sim_, device_, pages, qd, inner, probe_io_errors_)
+          .Detach();
       break;
   }
   co_await inner.Wait();
@@ -183,14 +195,17 @@ double Calibrator::RunSequence(const std::vector<uint64_t>& pages, int qd,
   switch (method) {
     case CalibrationMethod::kMultiThread:
       for (int t = 0; t < qd; ++t) {
-        MultiThreadWorker(device_, pages, next, done);
+        MultiThreadWorker(device_, pages, next, done, probe_io_errors_)
+            .Detach();
       }
       break;
     case CalibrationMethod::kGroupWaiting:
-      GroupWaitingDriver(sim_, device_, pages, qd, done);
+      GroupWaitingDriver(sim_, device_, pages, qd, done, probe_io_errors_)
+          .Detach();
       break;
     case CalibrationMethod::kActiveWaiting:
-      ActiveWaitingDriver(sim_, device_, pages, qd, done);
+      ActiveWaitingDriver(sim_, device_, pages, qd, done, probe_io_errors_)
+          .Detach();
       break;
   }
   sim_.Run();
@@ -217,7 +232,8 @@ RunningStat Calibrator::MeasurePointStats(uint64_t band_pages, int qd,
 
 CalibrationResult Calibrator::Calibrate() {
   QdttModel model(options_.band_grid, options_.qd_grid);
-  CalibrationResult result{model, 0.0, 0, 0, 0};
+  CalibrationResult result{model, 0.0, 0, 0, 0, 0};
+  const uint64_t errors_before = probe_io_errors_;
   const size_t nb = options_.band_grid.size();
   const size_t nq = options_.qd_grid.size();
   const sim::SimTime start = sim_.Now();
@@ -269,6 +285,12 @@ CalibrationResult Calibrator::Calibrate() {
   }
 
   result.calibration_time_us = sim_.Now() - start;
+  result.io_errors = probe_io_errors_ - errors_before;
+  if (result.io_errors > 0) {
+    PIOQO_LOG_WARNING << "calibration saw " << result.io_errors
+                   << " failed probe read(s); model is a conservative "
+                      "estimate";
+  }
   return result;
 }
 

@@ -64,6 +64,11 @@ struct CalibrationResult {
   int points_measured = 0;
   int points_defaulted = 0;
   uint64_t pages_read = 0;
+  /// Probe reads that completed with an error (e.g. under fault injection).
+  /// Failed probes still consumed device time, so the model remains a
+  /// conservative estimate — but a nonzero count means the measured costs
+  /// include failure paths and the run deserves scrutiny.
+  uint64_t io_errors = 0;
 };
 
 /// Calibrates a QDTT model against a device by measuring the amortized cost
@@ -100,6 +105,10 @@ class Calibrator {
 
   const CalibratorOptions& options() const { return options_; }
 
+  /// Total probe reads that failed across every measurement made through
+  /// this calibrator (all methods, sync and async).
+  uint64_t probe_io_errors() const { return probe_io_errors_; }
+
  private:
   /// Builds the page-read sequence for one point per the paper's block
   /// rules: for band <= M the file is divided into consecutive band-sized
@@ -115,6 +124,7 @@ class Calibrator {
   sim::Simulator& sim_;
   io::Device& device_;
   CalibratorOptions options_;
+  uint64_t probe_io_errors_ = 0;
 };
 
 }  // namespace pioqo::core

@@ -35,7 +35,7 @@ std::optional<QdttModel> IdleCalibrator::FinishedModel() const {
 void IdleCalibrator::Start() {
   PIOQO_CHECK(!started_) << "IdleCalibrator started twice";
   started_ = true;
-  Loop();
+  Loop().Detach();
 }
 
 bool IdleCalibrator::DeviceIdle() const {
@@ -82,7 +82,7 @@ sim::Task IdleCalibrator::Loop() {
     sim::Latch done(sim_, 1);
     calibrator_.MeasurePointAsync(opts.band_grid[point.band_idx],
                                   opts.qd_grid[point.qd_idx], opts.method,
-                                  seed_, &cost, done);
+                                  seed_, &cost, done).Detach();
     seed_ += 104729;
     co_await done.Wait();
     model_.SetPoint(point.band_idx, point.qd_idx, cost);

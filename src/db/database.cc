@@ -338,7 +338,7 @@ StatusOr<Database::WorkloadReport> Database::RunWorkload(
   sim::Latch all_done(sim_, static_cast<int64_t>(requests.size()));
   for (size_t i = 0; i < requests.size(); ++i) {
     QueryLifecycle(*this, *admission_, requests[i], specs[i],
-                   report.queries[i], all_done);
+                   report.queries[i], all_done).Detach();
   }
   sim_.Run();
   PIOQO_CHECK(all_done.done()) << "workload did not drain";

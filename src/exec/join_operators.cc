@@ -224,8 +224,8 @@ JoinResult RunIndexNestedLoopJoin(ExecContext& ctx,
   ctx.pool.disk().device().stats().Reset();
   const double start = ctx.sim.Now();
   JoinState state(ctx, outer, inner, inner_index, pred, dop);
-  JoinPrefetcher(state);
-  for (int w = 0; w < dop; ++w) JoinWorker(state);
+  JoinPrefetcher(state).Detach();
+  for (int w = 0; w < dop; ++w) JoinWorker(state).Detach();
   ctx.sim.Run();
   PIOQO_CHECK(state.done.done());
 

@@ -268,8 +268,8 @@ sim::Task IsCoordinator(IsState& s) {
   }
   PageId leaf_lo = kInvalidPageId, leaf_hi = kInvalidPageId;
   sim::Latch arrived(s.ctx.sim, 2);
-  IsDescend(s, s.pred.low, leaf_lo, arrived);
-  IsDescend(s, s.pred.high, leaf_hi, arrived);
+  IsDescend(s, s.pred.low, leaf_lo, arrived).Detach();
+  IsDescend(s, s.pred.high, leaf_hi, arrived).Detach();
   co_await arrived.Wait();
   if (s.agg.failed()) {
     s.Fail(s.agg.status);
@@ -454,7 +454,7 @@ sim::Task SortedIsCoordinator(SortedIsState& s) {
     PageId leaf = kInvalidPageId;
     Status descend_error;
     sim::Latch arrived(s.ctx.sim, 1);
-    DescendToLeaf(s.ctx, s.index, s.pred.low, leaf, descend_error, arrived);
+    DescendToLeaf(s.ctx, s.index, s.pred.low, leaf, descend_error, arrived).Detach();
     co_await arrived.Wait();
     if (!descend_error.ok()) s.agg.RecordError(descend_error);
     while (leaf != kInvalidPageId) {
@@ -561,8 +561,8 @@ class FtsJob : public RunningScan {
   FtsJob(ExecContext& ctx, const storage::Table& table, RangePredicate pred,
          int dop, int prefetch_blocks)
       : state_(ctx, table, pred, dop, prefetch_blocks) {
-    FtsPrefetcher(state_);
-    for (int w = 0; w < dop; ++w) FtsWorker(state_, w);
+    FtsPrefetcher(state_).Detach();
+    for (int w = 0; w < dop; ++w) FtsWorker(state_, w).Detach();
   }
   sim::Latch& done() override { return state_.done; }
   const Aggregate& aggregate() const override { return state_.agg; }
@@ -576,8 +576,8 @@ class IsJob : public RunningScan {
   IsJob(ExecContext& ctx, const storage::Table& table, const BPlusTree& index,
         RangePredicate pred, int dop, int prefetch)
       : state_(ctx, table, index, pred, dop, prefetch) {
-    IsCoordinator(state_);
-    for (int w = 0; w < dop; ++w) IsWorker(state_, w);
+    IsCoordinator(state_).Detach();
+    for (int w = 0; w < dop; ++w) IsWorker(state_, w).Detach();
   }
   sim::Latch& done() override { return state_.done; }
   const Aggregate& aggregate() const override { return state_.agg; }
@@ -592,8 +592,8 @@ class SortedIsJob : public RunningScan {
               const BPlusTree& index, RangePredicate pred, int dop,
               int prefetch)
       : state_(ctx, table, index, pred, dop, prefetch) {
-    SortedIsCoordinator(state_);
-    for (int w = 0; w < dop; ++w) SortedIsWorker(state_, w);
+    SortedIsCoordinator(state_).Detach();
+    for (int w = 0; w < dop; ++w) SortedIsWorker(state_, w).Detach();
   }
   sim::Latch& done() override { return state_.done; }
   const Aggregate& aggregate() const override { return state_.agg; }
@@ -709,7 +709,7 @@ std::vector<ScanResult> RunConcurrentScans(ExecContext& ctx,
   jobs.reserve(specs.size());
   for (size_t i = 0; i < specs.size(); ++i) {
     jobs.push_back(StartScan(ctx, specs[i]));
-    WatchCompletion(ctx.sim, jobs.back()->done(), &finish_times[i]);
+    WatchCompletion(ctx.sim, jobs.back()->done(), &finish_times[i]).Detach();
   }
   ctx.sim.Run();
 

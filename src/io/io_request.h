@@ -23,7 +23,7 @@ struct IoRequest {
 /// carrying success-or-error through every completion is what lets the upper
 /// layers (buffer pool, operators, executor) retry transient faults and fail
 /// queries cleanly instead of silently assuming success.
-struct IoResult {
+struct [[nodiscard]] IoResult {
   Status status;
   /// Simulated submit-to-completion latency, filled in by `Device::Submit`.
   double latency_us = 0.0;

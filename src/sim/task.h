@@ -26,7 +26,12 @@ namespace pioqo::sim {
 ///
 /// Exceptions escaping a simulated activity indicate a programming error and
 /// terminate the process.
-struct Task {
+///
+/// The type is [[nodiscard]] so a spawn reads as a decision, not an
+/// accident: write `Worker(...).Detach();` at fire-and-forget sites. The
+/// lint suite's SUS003 enforces the same idiom for toolchains that compile
+/// with the warning off.
+struct [[nodiscard]] Task {
   struct promise_type {
     Task get_return_object() noexcept {
       checks::OnFrameCreated(
@@ -42,6 +47,13 @@ struct Task {
     void return_void() noexcept {}
     void unhandled_exception() noexcept { std::abort(); }
   };
+
+  /// Explicit fire-and-forget acknowledgement. The coroutine already ran (or
+  /// suspended) eagerly when it was called; calling `Detach()` on the
+  /// returned token changes nothing at runtime — it exists so the
+  /// [[nodiscard]] above and the SUS003 lint can tell a deliberate spawn
+  /// (`Worker(...).Detach();`) from a dropped coroutine.
+  void Detach() const noexcept {}
 };
 
 /// Awaitable pause: `co_await Delay(sim, d)` resumes the coroutine `d`

@@ -48,7 +48,7 @@ TEST(AdmissionTest, AdmitsImmediatelyWhenCapacityIsFree) {
   AdmissionController ctrl(sim, {});
   io::QueryContext query(sim);
   Probe p;
-  RunQuery(sim, ctrl, query, 0.0, 4, 10.0, p);
+  RunQuery(sim, ctrl, query, 0.0, 4, 10.0, p).Detach();
   sim.Run();
   ASSERT_TRUE(p.grant.ok());
   EXPECT_EQ(p.grant.dop, 4);
@@ -67,8 +67,8 @@ TEST(AdmissionTest, ExcessArrivalQueuesUntilRelease) {
   AdmissionController ctrl(sim, options);
   io::QueryContext qa(sim), qb(sim);
   Probe a, b;
-  RunQuery(sim, ctrl, qa, 0.0, 2, 100.0, a);   // runs [0, 100)
-  RunQuery(sim, ctrl, qb, 10.0, 2, 50.0, b);   // arrives mid-flight
+  RunQuery(sim, ctrl, qa, 0.0, 2, 100.0, a).Detach();   // runs [0, 100)
+  RunQuery(sim, ctrl, qb, 10.0, 2, 50.0, b).Detach();   // arrives mid-flight
   sim.Run();
   ASSERT_TRUE(a.grant.ok());
   ASSERT_TRUE(b.grant.ok());
@@ -87,8 +87,8 @@ TEST(AdmissionTest, BoundedWaitShedsWithResourceExhausted) {
   AdmissionController ctrl(sim, options);
   io::QueryContext qa(sim), qb(sim);
   Probe a, b;
-  RunQuery(sim, ctrl, qa, 0.0, 2, 1000.0, a);  // hogs the slot
-  RunQuery(sim, ctrl, qb, 10.0, 2, 50.0, b);
+  RunQuery(sim, ctrl, qa, 0.0, 2, 1000.0, a).Detach();  // hogs the slot
+  RunQuery(sim, ctrl, qb, 10.0, 2, 50.0, b).Detach();
   sim.Run();
   ASSERT_TRUE(a.grant.ok());
   ASSERT_FALSE(b.grant.ok());
@@ -108,9 +108,9 @@ TEST(AdmissionTest, FullQueueShedsArrivalsImmediately) {
   AdmissionController ctrl(sim, options);
   io::QueryContext qa(sim), qb(sim), qc(sim);
   Probe a, b, c;
-  RunQuery(sim, ctrl, qa, 0.0, 1, 100.0, a);
-  RunQuery(sim, ctrl, qb, 10.0, 1, 10.0, b);  // fills the queue
-  RunQuery(sim, ctrl, qc, 20.0, 1, 10.0, c);  // bounces off it
+  RunQuery(sim, ctrl, qa, 0.0, 1, 100.0, a).Detach();
+  RunQuery(sim, ctrl, qb, 10.0, 1, 10.0, b).Detach();  // fills the queue
+  RunQuery(sim, ctrl, qc, 20.0, 1, 10.0, c).Detach();  // bounces off it
   sim.Run();
   ASSERT_TRUE(a.grant.ok());
   ASSERT_TRUE(b.grant.ok());
@@ -129,7 +129,7 @@ TEST(AdmissionTest, DeadlinePassedAtArrivalShedsWithoutQueueing) {
   io::QueryContext query(sim);
   query.SetDeadline(5.0);  // will be long gone at arrival
   Probe p;
-  RunQuery(sim, ctrl, query, 20.0, 2, 10.0, p);
+  RunQuery(sim, ctrl, query, 20.0, 2, 10.0, p).Detach();
   sim.Run();
   ASSERT_FALSE(p.grant.ok());
   EXPECT_EQ(p.grant.status.code(), StatusCode::kDeadlineExceeded);
@@ -147,8 +147,8 @@ TEST(AdmissionTest, DeadlineWhileQueuedShedsAtTheDeadlineInstant) {
   io::QueryContext qa(sim), qb(sim);
   qb.SetDeadline(30.0);
   Probe a, b;
-  RunQuery(sim, ctrl, qa, 0.0, 2, 100.0, a);  // holds the slot past 30
-  RunQuery(sim, ctrl, qb, 10.0, 2, 10.0, b);
+  RunQuery(sim, ctrl, qa, 0.0, 2, 100.0, a).Detach();  // holds the slot past 30
+  RunQuery(sim, ctrl, qb, 10.0, 2, 10.0, b).Detach();
   sim.Run();
   ASSERT_FALSE(b.grant.ok());
   EXPECT_EQ(b.grant.status.code(), StatusCode::kDeadlineExceeded);
@@ -166,8 +166,8 @@ TEST(AdmissionTest, CancellationWhileQueuedShedsWithCancelStatus) {
   AdmissionController ctrl(sim, options);
   io::QueryContext qa(sim), qb(sim);
   Probe a, b;
-  RunQuery(sim, ctrl, qa, 0.0, 2, 100.0, a);
-  RunQuery(sim, ctrl, qb, 10.0, 2, 10.0, b);
+  RunQuery(sim, ctrl, qa, 0.0, 2, 100.0, a).Detach();
+  RunQuery(sim, ctrl, qb, 10.0, 2, 10.0, b).Detach();
   sim.ScheduleAfter(25.0,
                     [&qb] { qb.Cancel(Status::Cancelled("user hit ^C")); });
   sim.Run();
@@ -187,9 +187,9 @@ TEST(AdmissionTest, DopBudgetGrantsPartiallyThenQueues) {
   AdmissionController ctrl(sim, options);
   io::QueryContext qa(sim), qb(sim), qc(sim);
   Probe a, b, c;
-  RunQuery(sim, ctrl, qa, 0.0, 6, 100.0, a);  // full grant: 6 of 8
-  RunQuery(sim, ctrl, qb, 10.0, 6, 100.0, b); // partial: only 2 left
-  RunQuery(sim, ctrl, qc, 20.0, 4, 10.0, c);  // budget spent: queues
+  RunQuery(sim, ctrl, qa, 0.0, 6, 100.0, a).Detach();  // full grant: 6 of 8
+  RunQuery(sim, ctrl, qb, 10.0, 6, 100.0, b).Detach(); // partial: only 2 left
+  RunQuery(sim, ctrl, qc, 20.0, 4, 10.0, c).Detach();  // budget spent: queues
   sim.Run();
   ASSERT_TRUE(a.grant.ok());
   ASSERT_TRUE(b.grant.ok());
@@ -210,9 +210,9 @@ TEST(AdmissionTest, QueueDrainsInStrictFifoOrder) {
   AdmissionController ctrl(sim, options);
   io::QueryContext qa(sim), qb(sim), qc(sim);
   Probe a, b, c;
-  RunQuery(sim, ctrl, qa, 0.0, 1, 100.0, a);
-  RunQuery(sim, ctrl, qb, 10.0, 1, 50.0, b);
-  RunQuery(sim, ctrl, qc, 20.0, 1, 50.0, c);
+  RunQuery(sim, ctrl, qa, 0.0, 1, 100.0, a).Detach();
+  RunQuery(sim, ctrl, qb, 10.0, 1, 50.0, b).Detach();
+  RunQuery(sim, ctrl, qc, 20.0, 1, 50.0, c).Detach();
   sim.Run();
   ASSERT_TRUE(b.grant.ok());
   ASSERT_TRUE(c.grant.ok());
@@ -242,7 +242,7 @@ TEST(AdmissionTest, DegradedDeviceClampsGrantedDop) {
   AdmissionController ctrl(sim, options);
   io::QueryContext query(sim);
   Probe p;
-  RunQuery(sim, ctrl, query, sim.Now(), 8, 10.0, p);
+  RunQuery(sim, ctrl, query, sim.Now(), 8, 10.0, p).Detach();
   sim.Run();
   ASSERT_TRUE(p.grant.ok());
   EXPECT_LT(p.grant.dop, 8);
@@ -263,7 +263,7 @@ TEST(AdmissionTest, DisabledControllerAdmitsEverythingButTracksPeaks) {
   for (int i = 0; i < 5; ++i) queries.push_back(new io::QueryContext(sim));
   for (int i = 0; i < 5; ++i) {
     RunQuery(sim, ctrl, *queries[i], static_cast<double>(i), 4, 100.0,
-             probes[i]);
+             probes[i]).Detach();
   }
   sim.Run();
   for (int i = 0; i < 5; ++i) {

@@ -41,7 +41,7 @@ TEST_F(BufferPoolTest, MissReadsFromDeviceThenHits) {
     hit2 = ref2.was_hit;
     pool.Unpin(5);
   };
-  worker();
+  worker().Detach();
   sim_.Run();
   EXPECT_EQ(got, 5);
   EXPECT_FALSE(hit1);
@@ -57,7 +57,7 @@ TEST_F(BufferPoolTest, FetchTakesDeviceTime) {
     co_await pool.Fetch(0);
     pool.Unpin(0);
   };
-  worker();
+  worker().Detach();
   double t = sim_.Run();
   EXPECT_GT(t, 100.0);  // one SSD random read
 }
@@ -71,7 +71,7 @@ TEST_F(BufferPoolTest, ConcurrentFetchesOfSamePageShareOneRead) {
     pool.Unpin(3);
     latch.CountDown();
   };
-  for (int i = 0; i < 8; ++i) worker();
+  for (int i = 0; i < 8; ++i) worker().Detach();
   sim_.Run();
   EXPECT_TRUE(latch.done());
   EXPECT_EQ(ssd_.stats().reads(), 1u);
@@ -94,7 +94,7 @@ TEST_F(BufferPoolTest, EvictsLruWhenFull) {
     EXPECT_TRUE(ref7.was_hit);
     pool.Unpin(7);
   };
-  worker();
+  worker().Detach();
   sim_.Run();
   EXPECT_GE(pool.stats().evictions, 4u);
   EXPECT_LE(pool.resident_pages(), 4u);
@@ -116,7 +116,7 @@ TEST_F(BufferPoolTest, PinnedPagesSurviveEvictionPressure) {
     pool.Unpin(42);
     pool.Unpin(42);
   };
-  worker();
+  worker().Detach();
   sim_.Run();
 }
 
@@ -130,7 +130,7 @@ TEST_F(BufferPoolTest, PrefetchMakesLaterFetchAHit) {
     was_hit = ref.was_hit;
     pool.Unpin(9);
   };
-  worker();
+  worker().Detach();
   sim_.Run();
   EXPECT_TRUE(was_hit);
   EXPECT_EQ(pool.stats().prefetch_read, 1u);
@@ -144,7 +144,7 @@ TEST_F(BufferPoolTest, FetchDuringPrefetchJoinsInflightRead) {
     EXPECT_EQ(ref.data[kPageHeaderSize], 9);
     pool.Unpin(9);
   };
-  worker();
+  worker().Detach();
   sim_.Run();
   EXPECT_EQ(ssd_.stats().reads(), 1u);
 }
@@ -165,7 +165,7 @@ TEST_F(BufferPoolTest, PrefetchBlockSplitsAroundResidentPages) {
     pool.Unpin(8);
     pool.PrefetchBlock(4, 10);  // 4..13 with 8 resident: two runs
   };
-  worker();
+  worker().Detach();
   sim_.Run();
   // 1 fetch read + 2 split block reads.
   EXPECT_EQ(ssd_.stats().reads(), 3u);
@@ -178,7 +178,7 @@ TEST_F(BufferPoolTest, ClearDropsEverything) {
     co_await pool.Fetch(1);
     pool.Unpin(1);
   };
-  worker();
+  worker().Detach();
   sim_.Run();
   EXPECT_TRUE(pool.IsResident(1));
   EXPECT_TRUE(pool.Clear().ok());
@@ -205,7 +205,7 @@ TEST_F(BufferPoolTest, FetchWithEveryFramePinnedFailsCleanly) {
     pool.Unpin(50);
     for (PageId p = 1; p < 4; ++p) pool.Unpin(p);
   };
-  worker();
+  worker().Detach();
   sim_.Run();
   EXPECT_EQ(overflow.code(), StatusCode::kResourceExhausted);
   EXPECT_TRUE(still_works);
@@ -217,7 +217,7 @@ TEST_F(BufferPoolTest, ClearReportsPinnedAndInflightPages) {
   auto pin_worker = [&]() -> sim::Task {
     co_await pool.Fetch(1);  // left pinned on purpose
   };
-  pin_worker();
+  pin_worker().Detach();
   sim_.Run();
   Status pinned = pool.Clear();
   EXPECT_EQ(pinned.code(), StatusCode::kFailedPrecondition);
@@ -243,7 +243,7 @@ TEST_F(BufferPoolTest, SequentialScanWithSmallPoolEvictsCleanly) {
       pool.Unpin(p);
     }
   };
-  worker();
+  worker().Detach();
   sim_.Run();
   EXPECT_EQ(sum, 99ull * 100 / 2);
   EXPECT_EQ(pool.stats().misses, 100u);

@@ -21,7 +21,7 @@ TEST(CpuSchedulerTest, SingleBurstTakesItsDuration) {
   Simulator sim;
   CpuScheduler cpu(sim, 1);
   double finished = -1;
-  Burst(cpu, 25.0, &finished, sim);
+  Burst(cpu, 25.0, &finished, sim).Detach();
   sim.Run();
   EXPECT_DOUBLE_EQ(finished, 25.0);
   EXPECT_DOUBLE_EQ(cpu.busy_time(), 25.0);
@@ -31,7 +31,7 @@ TEST(CpuSchedulerTest, ParallelBurstsOverlapUpToCores) {
   Simulator sim;
   CpuScheduler cpu(sim, 4);
   std::vector<double> finished(4, -1);
-  for (int i = 0; i < 4; ++i) Burst(cpu, 10.0, &finished[i], sim);
+  for (int i = 0; i < 4; ++i) Burst(cpu, 10.0, &finished[i], sim).Detach();
   sim.Run();
   for (double f : finished) EXPECT_DOUBLE_EQ(f, 10.0);
   EXPECT_DOUBLE_EQ(sim.Now(), 10.0);
@@ -41,7 +41,7 @@ TEST(CpuSchedulerTest, ExcessWorkersSerialize) {
   Simulator sim;
   CpuScheduler cpu(sim, 2);
   std::vector<double> finished(6, -1);
-  for (int i = 0; i < 6; ++i) Burst(cpu, 10.0, &finished[i], sim);
+  for (int i = 0; i < 6; ++i) Burst(cpu, 10.0, &finished[i], sim).Detach();
   sim.Run();
   // 6 bursts of 10us on 2 cores: waves finish at 10, 20, 30.
   EXPECT_DOUBLE_EQ(sim.Now(), 30.0);
@@ -56,9 +56,9 @@ TEST(CpuSchedulerTest, FcfsOrdering) {
     co_await cpu.Consume(d);
     completion_order.push_back(id);
   };
-  worker(0, 5.0);
-  worker(1, 1.0);
-  worker(2, 1.0);
+  worker(0, 5.0).Detach();
+  worker(1, 1.0).Detach();
+  worker(2, 1.0).Detach();
   sim.Run();
   // Non-preemptive FCFS: arrival order wins, not burst length.
   EXPECT_EQ(completion_order, (std::vector<int>{0, 1, 2}));
@@ -72,7 +72,7 @@ TEST(CpuSchedulerTest, ZeroDurationIsFree) {
     co_await cpu.Consume(0.0);
     ran = true;
   };
-  worker();
+  worker().Detach();
   EXPECT_TRUE(ran);  // no suspension for zero-cost work
   EXPECT_EQ(cpu.num_bursts(), 0u);
 }
@@ -92,7 +92,7 @@ TEST(CpuSchedulerTest, ThroughputCappedByCores) {
     }
     latch.CountDown();
   };
-  for (int i = 0; i < 32; ++i) worker();
+  for (int i = 0; i < 32; ++i) worker().Detach();
   sim.Run();
   EXPECT_TRUE(latch.done());
   EXPECT_EQ(items_done, 320);
@@ -104,7 +104,7 @@ TEST(CpuSchedulerTest, UtilizationPartial) {
   Simulator sim;
   CpuScheduler cpu(sim, 2);
   double f = -1;
-  Burst(cpu, 10.0, &f, sim);
+  Burst(cpu, 10.0, &f, sim).Detach();
   sim.Run();
   // One core busy 10us out of 2 cores x 10us.
   EXPECT_NEAR(cpu.Utilization(sim.Now()), 0.5, 1e-9);

@@ -55,11 +55,11 @@ TEST(SsdReadaheadTest, SequentialSinglePageStreamThroughput) {
   bool done = false;
   auto reader = [&]() -> sim::Task {
     for (uint64_t off = 0; off < (64ull << 20); off += 4096) {
-      co_await ssd.Read(off, 4096);
+      EXPECT_TRUE((co_await ssd.Read(off, 4096)).ok());
     }
     done = true;
   };
-  reader();
+  reader().Detach();
   sim.Run();
   ASSERT_TRUE(done);
   double mbps = ssd.stats().ThroughputMbps();

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "io/device.h"
 #include "sim/simulator.h"
@@ -27,11 +28,11 @@ inline double MeasureRandomReadThroughput(sim::Simulator& sim, Device& device,
     for (int i = 0; i < reads_per_thread; ++i) {
       uint64_t pages = band_bytes / read_bytes;
       uint64_t offset = rng.UniformBelow(pages) * read_bytes;
-      co_await device.Read(offset, read_bytes);
+      PIOQO_CHECK_OK(co_await device.Read(offset, read_bytes));
     }
     latch.CountDown();
   };
-  for (int t = 0; t < threads; ++t) reader(seed + static_cast<uint64_t>(t));
+  for (int t = 0; t < threads; ++t) reader(seed + static_cast<uint64_t>(t)).Detach();
   sim.Run();
   return device.stats().ThroughputMbps();
 }
@@ -60,7 +61,7 @@ inline double MeasureSequentialReadThroughput(sim::Simulator& sim,
     co_await all.Wait();
     latch.CountDown();
   };
-  reader();
+  reader().Detach();
   sim.Run();
   return device.stats().ThroughputMbps();
 }

@@ -256,7 +256,7 @@ TEST_F(PoolRetryTest, TransientErrorIsRetriedToSuccess) {
     got = co_await pool.Fetch(9);
     if (got.ok()) pool.Unpin(9);
   };
-  worker();
+  worker().Detach();
   sim_.Run();
 
   ASSERT_TRUE(got.ok());
@@ -284,7 +284,7 @@ TEST_F(PoolRetryTest, PermanentErrorExhaustsAttemptsAndFailsAllWaiters) {
     EXPECT_EQ(ref.data, nullptr);
     statuses.push_back(ref.status);
   };
-  for (int i = 0; i < 4; ++i) worker();
+  for (int i = 0; i < 4; ++i) worker().Detach();
   sim_.Run();
 
   ASSERT_EQ(statuses.size(), 4u);
@@ -318,7 +318,7 @@ TEST_F(PoolRetryTest, StuckRequestsExhaustTimeoutsAndFailCleanly) {
     auto ref = co_await pool.Fetch(2);
     got = ref.status;
   };
-  worker();
+  worker().Detach();
   sim_.Run();
 
   EXPECT_EQ(got.code(), StatusCode::kIoError);
@@ -358,7 +358,7 @@ TEST_F(PoolRetryTest, TimeoutRecoversFromIntermittentlyStuckDevice) {
       got = co_await pool.Fetch(4);
       if (got.ok()) pool.Unpin(4);
     };
-    worker();
+    worker().Detach();
     sim.Run();
 
     if (pool.stats().timeouts == 1 && got.ok()) {
@@ -394,7 +394,7 @@ TEST_F(PoolRetryTest, LateCompletionOfTimedOutAttemptIsDiscarded) {
     ++resumes;
     if (got.ok()) pool.Unpin(1);
   };
-  worker();
+  worker().Detach();
   sim_.Run();
 
   EXPECT_EQ(resumes, 1);

@@ -68,8 +68,10 @@ sim::Task ForegroundLoad(sim::Simulator& sim, io::Device& device, int bursts,
   const uint64_t pages = device.capacity_bytes() / storage::kPageSize;
   for (int b = 0; b < bursts; ++b) {
     for (int i = 0; i < 20; ++i) {
-      co_await device.Read(rng.UniformBelow(pages) * storage::kPageSize,
-                           storage::kPageSize);
+      EXPECT_TRUE((co_await device.Read(rng.UniformBelow(pages) *
+                                            storage::kPageSize,
+                                        storage::kPageSize))
+                      .ok());
     }
     *last_burst_end = sim.Now();
     co_await sim::Delay(sim, period_us);
@@ -87,7 +89,7 @@ TEST(IdleCalibratorTest, DefersToForegroundIo) {
   // the load runs, the device never looks idle, so no calibration happens.
   double last_burst_end = 0.0;
   ForegroundLoad(sim, *ssd, /*bursts=*/40, /*period_us=*/20'000.0,
-                 &last_burst_end);
+                 &last_burst_end).Detach();
   sim.RunUntil(last_burst_end > 0 ? last_burst_end : 700'000.0);
   // Drive until the foreground load finishes.
   sim.Run();

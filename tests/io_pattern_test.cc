@@ -141,7 +141,7 @@ TEST_F(IoPatternTest, PrefetchingIndexScanBatchesSubmissions) {
   RunIndexScan(ctx, dataset_->table, dataset_->index_c2, PredicateFor(0.05),
                1, 0);
   auto plain = TableRequests();
-  pool_->Clear();
+  EXPECT_TRUE(pool_->Clear().ok());
   trace_.clear();
   RunIndexScan(ctx, dataset_->table, dataset_->index_c2, PredicateFor(0.05),
                1, 16);

@@ -105,7 +105,7 @@ TEST_F(JoinTest, PredicateRestrictsProbes) {
   Build(io::DeviceKind::kSsdConsumer, 5000, 20000);
   auto ctx = Context();
   RangePredicate pred{0, 1999};  // ~10% of the key domain
-  pool_->Clear();
+  EXPECT_TRUE(pool_->Clear().ok());
   auto result = RunIndexNestedLoopJoin(ctx, outer_->table, inner_->table,
                                        inner_->index_c2, pred, 4);
   auto expected = Reference(pred);
@@ -119,10 +119,10 @@ TEST_F(JoinTest, ParallelAgreesWithSerial) {
   Build(io::DeviceKind::kSsdConsumer, 3000, 10000);
   auto ctx = Context();
   RangePredicate pred{0, 9999};
-  pool_->Clear();
+  EXPECT_TRUE(pool_->Clear().ok());
   auto serial = RunIndexNestedLoopJoin(ctx, outer_->table, inner_->table,
                                        inner_->index_c2, pred, 1);
-  pool_->Clear();
+  EXPECT_TRUE(pool_->Clear().ok());
   auto parallel = RunIndexNestedLoopJoin(ctx, outer_->table, inner_->table,
                                          inner_->index_c2, pred, 16);
   EXPECT_EQ(serial.sum_c1, parallel.sum_c1);
@@ -135,10 +135,10 @@ TEST_F(JoinTest, ParallelismSpeedsUpProbesOnSsd) {
   Build(io::DeviceKind::kSsdConsumer, 8000, 60000);
   auto ctx = Context();
   RangePredicate pred{0, 59999};
-  pool_->Clear();
+  EXPECT_TRUE(pool_->Clear().ok());
   auto serial = RunIndexNestedLoopJoin(ctx, outer_->table, inner_->table,
                                        inner_->index_c2, pred, 1);
-  pool_->Clear();
+  EXPECT_TRUE(pool_->Clear().ok());
   auto parallel = RunIndexNestedLoopJoin(ctx, outer_->table, inner_->table,
                                          inner_->index_c2, pred, 16);
   EXPECT_LT(parallel.runtime_us, serial.runtime_us / 4.0);

@@ -107,12 +107,12 @@ TEST_P(BufferPoolPropertyTest, RandomOperationSequence) {
     }
     finished = true;
   };
-  driver();
+  driver().Detach();
   sim.Run();
   ASSERT_TRUE(finished);
 
   // After draining, every frame is unpinned and Clear must succeed.
-  pool.Clear();
+  EXPECT_TRUE(pool.Clear().ok());
   EXPECT_EQ(pool.resident_pages(), 0u);
   // Accounting sanity.
   const auto& stats = pool.stats();
@@ -153,10 +153,10 @@ TEST(BufferPoolConcurrencyTest, ManyWorkersSmallPool) {
     ++completed;
   };
   std::vector<decltype(worker(0))> tasks;
-  for (uint64_t w = 0; w < 12; ++w) worker(w + 100);
+  for (uint64_t w = 0; w < 12; ++w) worker(w + 100).Detach();
   sim.Run();
   EXPECT_EQ(completed, 12);
-  pool.Clear();
+  EXPECT_TRUE(pool.Clear().ok());
 }
 
 }  // namespace

@@ -107,7 +107,7 @@ class ScanPropertyTest : public ::testing::TestWithParam<ScanCase> {
 
 TEST_P(ScanPropertyTest, FullTableScanMatchesReference) {
   auto ctx = Context();
-  pool_->Clear();
+  EXPECT_TRUE(pool_->Clear().ok());
   auto r = RunFullTableScan(ctx, dataset_->table, pred_, GetParam().dop);
   CheckAnswer(r);
   // FTS examines every row and reads every table page exactly once.
@@ -119,7 +119,7 @@ TEST_P(ScanPropertyTest, FullTableScanMatchesReference) {
 
 TEST_P(ScanPropertyTest, IndexScanMatchesReference) {
   auto ctx = Context();
-  pool_->Clear();
+  EXPECT_TRUE(pool_->Clear().ok());
   auto r = RunIndexScan(ctx, dataset_->table, dataset_->index_c2, pred_,
                         GetParam().dop, GetParam().prefetch);
   CheckAnswer(r);
@@ -129,7 +129,7 @@ TEST_P(ScanPropertyTest, IndexScanMatchesReference) {
 
 TEST_P(ScanPropertyTest, SortedIndexScanMatchesReference) {
   auto ctx = Context();
-  pool_->Clear();
+  EXPECT_TRUE(pool_->Clear().ok());
   auto r = RunSortedIndexScan(ctx, dataset_->table, dataset_->index_c2, pred_,
                               GetParam().dop, GetParam().prefetch);
   CheckAnswer(r);

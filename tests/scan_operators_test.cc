@@ -91,7 +91,7 @@ TEST(FullTableScanTest, ParallelAgreesWithSerial) {
   auto ctx = rig.Context();
   auto pred = rig.PredicateFor(0.05);
   auto serial = RunFullTableScan(ctx, rig.dataset_->table, pred, 1);
-  rig.pool_.Clear();
+  EXPECT_TRUE(rig.pool_.Clear().ok());
   auto parallel = RunFullTableScan(ctx, rig.dataset_->table, pred, 8);
   EXPECT_EQ(serial.max_c1, parallel.max_c1);
   EXPECT_EQ(serial.rows_matched, parallel.rows_matched);
@@ -133,9 +133,9 @@ TEST(IndexScanTest, AgreesWithFullTableScanAcrossSelectivities) {
   auto ctx = rig.Context();
   for (double sel : {0.0005, 0.01, 0.3, 1.0}) {
     auto pred = rig.PredicateFor(sel);
-    rig.pool_.Clear();
+    EXPECT_TRUE(rig.pool_.Clear().ok());
     auto fts = RunFullTableScan(ctx, rig.dataset_->table, pred, 4);
-    rig.pool_.Clear();
+    EXPECT_TRUE(rig.pool_.Clear().ok());
     auto is = RunIndexScan(ctx, rig.dataset_->table, rig.dataset_->index_c2,
                            pred, 4, 8);
     EXPECT_EQ(fts.rows_matched, is.rows_matched) << "sel=" << sel;
@@ -164,7 +164,7 @@ TEST(IndexScanTest, PisQueueDepthTracksParallelDegree) {
   auto ctx = rig.Context();
   auto pred = rig.PredicateFor(0.1);
   for (int dop : {4, 16}) {
-    rig.pool_.Clear();
+    EXPECT_TRUE(rig.pool_.Clear().ok());
     auto result = RunIndexScan(ctx, rig.dataset_->table,
                                rig.dataset_->index_c2, pred, dop, 0);
     EXPECT_GT(result.avg_queue_depth, dop * 0.5) << "dop=" << dop;
@@ -179,10 +179,10 @@ TEST(IndexScanTest, PrefetchingRaisesQueueDepthAndCutsRuntime) {
   Rig rig(io::DeviceKind::kSsdConsumer, 60000, 33, 1024);
   auto ctx = rig.Context();
   auto pred = rig.PredicateFor(0.05);
-  rig.pool_.Clear();
+  EXPECT_TRUE(rig.pool_.Clear().ok());
   auto plain = RunIndexScan(ctx, rig.dataset_->table, rig.dataset_->index_c2,
                             pred, 1, 0);
-  rig.pool_.Clear();
+  EXPECT_TRUE(rig.pool_.Clear().ok());
   auto prefetching = RunIndexScan(ctx, rig.dataset_->table,
                                   rig.dataset_->index_c2, pred, 1, 16);
   EXPECT_LT(prefetching.runtime_us, plain.runtime_us / 3.0);
@@ -198,10 +198,10 @@ TEST(IndexScanTest, ParallelismSpeedsUpOnSsdNotOnHdd) {
     Rig rig(io::DeviceKind::kSsdConsumer, 330000, 33, 2048);
     auto ctx = rig.Context();
     auto pred = rig.PredicateFor(sel);
-    rig.pool_.Clear();
+    EXPECT_TRUE(rig.pool_.Clear().ok());
     auto is = RunIndexScan(ctx, rig.dataset_->table, rig.dataset_->index_c2,
                            pred, 1, 0);
-    rig.pool_.Clear();
+    EXPECT_TRUE(rig.pool_.Clear().ok());
     auto pis = RunIndexScan(ctx, rig.dataset_->table, rig.dataset_->index_c2,
                             pred, 32, 0);
     ssd_ratio = is.runtime_us / pis.runtime_us;
@@ -210,10 +210,10 @@ TEST(IndexScanTest, ParallelismSpeedsUpOnSsdNotOnHdd) {
     Rig rig(io::DeviceKind::kHdd7200, 330000, 33, 2048);
     auto ctx = rig.Context();
     auto pred = rig.PredicateFor(sel);
-    rig.pool_.Clear();
+    EXPECT_TRUE(rig.pool_.Clear().ok());
     auto is = RunIndexScan(ctx, rig.dataset_->table, rig.dataset_->index_c2,
                            pred, 1, 0);
-    rig.pool_.Clear();
+    EXPECT_TRUE(rig.pool_.Clear().ok());
     auto pis = RunIndexScan(ctx, rig.dataset_->table, rig.dataset_->index_c2,
                             pred, 32, 0);
     hdd_ratio = is.runtime_us / pis.runtime_us;
@@ -229,9 +229,9 @@ TEST(FullTableScanTest, ParallelismHelpsOnSsdForFatRows) {
   Rig rig(io::DeviceKind::kSsdConsumer, 3000, 1, 512);
   auto ctx = rig.Context();
   auto pred = rig.PredicateFor(0.5);
-  rig.pool_.Clear();
+  EXPECT_TRUE(rig.pool_.Clear().ok());
   auto fts = RunFullTableScan(ctx, rig.dataset_->table, pred, 1);
-  rig.pool_.Clear();
+  EXPECT_TRUE(rig.pool_.Clear().ok());
   auto pfts = RunFullTableScan(ctx, rig.dataset_->table, pred, 32);
   EXPECT_LT(pfts.runtime_us, fts.runtime_us / 1.5);
   EXPECT_EQ(pfts.max_c1, fts.max_c1);
@@ -243,9 +243,9 @@ TEST(FullTableScanTest, HddParallelismDoesNotHelpTypicalRows) {
   Rig rig(io::DeviceKind::kHdd7200, 33 * 2000, 33, 1024);
   auto ctx = rig.Context();
   auto pred = rig.PredicateFor(0.5);
-  rig.pool_.Clear();
+  EXPECT_TRUE(rig.pool_.Clear().ok());
   auto fts = RunFullTableScan(ctx, rig.dataset_->table, pred, 1);
-  rig.pool_.Clear();
+  EXPECT_TRUE(rig.pool_.Clear().ok());
   auto pfts = RunFullTableScan(ctx, rig.dataset_->table, pred, 32);
   EXPECT_GT(pfts.runtime_us, fts.runtime_us * 0.8);
 }
@@ -256,7 +256,7 @@ TEST(IndexScanTest, SmallPoolCausesRefetchesAtHighSelectivity) {
   Rig rig(io::DeviceKind::kSsdConsumer, 33000, 33, 128);
   auto ctx = rig.Context();
   auto pred = rig.PredicateFor(0.8);
-  rig.pool_.Clear();
+  EXPECT_TRUE(rig.pool_.Clear().ok());
   auto result = RunIndexScan(ctx, rig.dataset_->table, rig.dataset_->index_c2,
                              pred, 1, 0);
   EXPECT_GT(result.pool_misses,

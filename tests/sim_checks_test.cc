@@ -190,7 +190,7 @@ TEST(SimChecksTest, TaskFramesReachQuiescenceAfterRun) {
     co_await Delay(sim, 1.0);
     latch.CountDown();
   };
-  for (int i = 0; i < 3; ++i) worker();
+  for (int i = 0; i < 3; ++i) worker().Detach();
   EXPECT_EQ(checks::NumLiveFrames(), 3u);
   EXPECT_EQ(checks::NumPendingResumes(), 3u);
   sim.Run();
@@ -217,7 +217,7 @@ TEST(SimChecksTest, DisabledChecksTrackNothing) {
   checks::SetEnabled(false);
   Simulator sim;
   auto worker = [&]() -> Task { co_await Delay(sim, 1.0); };
-  worker();
+  worker().Detach();
   EXPECT_EQ(checks::NumLiveFrames(), 0u);
   sim.Run();
   checks::SetEnabled(true);
@@ -232,8 +232,8 @@ TEST(TraceHashTest, IdenticalRunsProduceIdenticalHashes) {
       co_await Delay(sim, d);
       latch.CountDown();
     };
-    worker(3.0);
-    worker(1.5);
+    worker(3.0).Detach();
+    worker(1.5).Detach();
     sim.Run();
     return sim.trace_hash();
   };

@@ -93,7 +93,7 @@ Task CountingCoroutine(Simulator& sim, std::vector<double>& times, int hops) {
 TEST(TaskTest, DelayAdvancesClock) {
   Simulator sim;
   std::vector<double> times;
-  CountingCoroutine(sim, times, 3);
+  CountingCoroutine(sim, times, 3).Detach();
   sim.Run();
   EXPECT_EQ(times, (std::vector<double>{10.0, 20.0, 30.0}));
 }
@@ -106,7 +106,7 @@ TEST(TaskTest, ZeroDelayYields) {
     o.push_back(0);  // coroutines start eagerly
     co_await Delay(s, 0.0);
     o.push_back(2);  // but a zero delay yields to already-queued events
-  }(sim, order);
+  }(sim, order).Detach();
   sim.Run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
 }
@@ -114,7 +114,7 @@ TEST(TaskTest, ZeroDelayYields) {
 TEST(TaskTest, ManyConcurrentCoroutines) {
   Simulator sim;
   std::vector<double> times;
-  for (int i = 0; i < 100; ++i) CountingCoroutine(sim, times, 2);
+  for (int i = 0; i < 100; ++i) CountingCoroutine(sim, times, 2).Detach();
   sim.Run();
   EXPECT_EQ(times.size(), 200u);
   EXPECT_DOUBLE_EQ(sim.Now(), 20.0);

@@ -53,9 +53,9 @@ TEST_F(SortedScanTest, AgreesWithPlainIndexScan) {
   auto ctx = Context();
   for (double sel : {0.001, 0.05, 0.4}) {
     auto pred = PredicateFor(sel);
-    pool_->Clear();
+    EXPECT_TRUE(pool_->Clear().ok());
     auto is = RunIndexScan(ctx, dataset_->table, dataset_->index_c2, pred, 4, 0);
-    pool_->Clear();
+    EXPECT_TRUE(pool_->Clear().ok());
     auto sis =
         RunSortedIndexScan(ctx, dataset_->table, dataset_->index_c2, pred, 4, 8);
     EXPECT_EQ(is.rows_matched, sis.rows_matched) << "sel=" << sel;
@@ -72,7 +72,7 @@ TEST_F(SortedScanTest, FetchesEachPageAtMostOnce) {
   Build(io::DeviceKind::kSsdConsumer, 33000, 33, 128);
   auto ctx = Context();
   auto pred = PredicateFor(0.8);
-  pool_->Clear();
+  EXPECT_TRUE(pool_->Clear().ok());
   auto sis =
       RunSortedIndexScan(ctx, dataset_->table, dataset_->index_c2, pred, 1, 0);
   // Table pages read <= table size + index pages; with 80% selectivity a
@@ -80,7 +80,7 @@ TEST_F(SortedScanTest, FetchesEachPageAtMostOnce) {
   EXPECT_LE(sis.pool_misses, static_cast<uint64_t>(
                                  dataset_->table.num_pages() +
                                  dataset_->index_c2.num_pages() + 4));
-  pool_->Clear();
+  EXPECT_TRUE(pool_->Clear().ok());
   auto is = RunIndexScan(ctx, dataset_->table, dataset_->index_c2, pred, 1, 0);
   EXPECT_GT(is.pool_misses, sis.pool_misses * 2);
 }
@@ -89,9 +89,9 @@ TEST_F(SortedScanTest, BeatsPlainIsAtHighSelectivitySmallPool) {
   Build(io::DeviceKind::kSsdConsumer, 33000, 33, 128);
   auto ctx = Context();
   auto pred = PredicateFor(0.6);
-  pool_->Clear();
+  EXPECT_TRUE(pool_->Clear().ok());
   auto is = RunIndexScan(ctx, dataset_->table, dataset_->index_c2, pred, 4, 0);
-  pool_->Clear();
+  EXPECT_TRUE(pool_->Clear().ok());
   auto sis =
       RunSortedIndexScan(ctx, dataset_->table, dataset_->index_c2, pred, 4, 8);
   EXPECT_LT(sis.runtime_us, is.runtime_us);
@@ -112,9 +112,9 @@ TEST_F(SortedScanTest, AscendingPageOrderHelpsHdd) {
   Build(io::DeviceKind::kHdd7200, 33000, 33, 4096);
   auto ctx = Context();
   auto pred = PredicateFor(0.1);
-  pool_->Clear();
+  EXPECT_TRUE(pool_->Clear().ok());
   auto is = RunIndexScan(ctx, dataset_->table, dataset_->index_c2, pred, 1, 0);
-  pool_->Clear();
+  EXPECT_TRUE(pool_->Clear().ok());
   auto sis =
       RunSortedIndexScan(ctx, dataset_->table, dataset_->index_c2, pred, 1, 0);
   EXPECT_LT(sis.runtime_us, is.runtime_us * 0.7);

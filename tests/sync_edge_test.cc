@@ -32,7 +32,7 @@ TEST(ChannelEdgeTest, CloseWithSuspendedConsumersThenDrain) {
     ++finished;
   };
   // All three consumers suspend on an empty channel before any push.
-  for (int i = 0; i < 3; ++i) consumer();
+  for (int i = 0; i < 3; ++i) consumer().Detach();
   // Two direct handoffs to suspended consumers, then close while the third
   // is still suspended; it must observe nullopt, and the two woken ones
   // must each hold exactly their handed-off item before draining to end.
@@ -68,8 +68,8 @@ TEST(ChannelEdgeTest, ItemsQueuedBeforeCloseAreDrainedAfterIt) {
     }
     ++finished;
   };
-  consumer();
-  consumer();
+  consumer().Detach();
+  consumer().Detach();
   sim.Run();
   EXPECT_EQ(finished, 2);
   EXPECT_EQ(received, (std::vector<int>{1, 2, 3}));
@@ -116,7 +116,7 @@ TEST(SemaphoreEdgeTest, FifoHandoffUnderContention) {
   // stays contended the whole run; handoff must remain strictly FIFO even
   // as releases interleave with fresh arrivals.
   for (int id = 0; id < 8; ++id) {
-    worker(id, /*arrival=*/id * 0.5, /*hold=*/4.0 + (id % 3));
+    worker(id, /*arrival=*/id * 0.5, /*hold=*/4.0 + (id % 3)).Detach();
   }
   sim.Run();
   EXPECT_TRUE(done.done());
@@ -135,7 +135,7 @@ TEST(EventEdgeTest, ResetReArmsAfterSet) {
     co_await event.Wait();
     ++phase1;
   };
-  waiter1();
+  waiter1().Detach();
   event.Set();
   sim.Run();
   EXPECT_EQ(phase1, 1);
@@ -146,7 +146,7 @@ TEST(EventEdgeTest, ResetReArmsAfterSet) {
     co_await event.Wait();
     ++phase1;
   };
-  waiter_no_suspend();
+  waiter_no_suspend().Detach();
   EXPECT_EQ(phase1, 2);
 
   // Reset re-arms: the next waiter suspends until the next Set().
@@ -156,7 +156,7 @@ TEST(EventEdgeTest, ResetReArmsAfterSet) {
     co_await event.Wait();
     ++phase2;
   };
-  waiter2();
+  waiter2().Detach();
   EXPECT_EQ(phase2, 0);  // suspended
   sim.ScheduleAt(5.0, [&] { event.Set(); });
   sim.Run();
@@ -172,7 +172,7 @@ TEST(SyncDtorDeathTest, LatchDestroyedWithWaitersDies) {
         Simulator sim;
         auto latch = std::make_unique<Latch>(sim, 1);
         auto waiter = [&]() -> Task { co_await latch->Wait(); };
-        waiter();
+        waiter().Detach();
         latch.reset();
       },
       "Latch destroyed with");
@@ -184,7 +184,7 @@ TEST(SyncDtorDeathTest, EventDestroyedWithWaitersDies) {
         Simulator sim;
         auto event = std::make_unique<Event>(sim);
         auto waiter = [&]() -> Task { co_await event->Wait(); };
-        waiter();
+        waiter().Detach();
         event.reset();
       },
       "Event destroyed with");
@@ -196,7 +196,7 @@ TEST(SyncDtorDeathTest, SemaphoreDestroyedWithWaitersDies) {
         Simulator sim;
         auto sem = std::make_unique<Semaphore>(sim, 0);
         auto waiter = [&]() -> Task { co_await sem->WaitAcquire(); };
-        waiter();
+        waiter().Detach();
         sem.reset();
       },
       "Semaphore destroyed with");
@@ -211,7 +211,7 @@ TEST(SyncDtorDeathTest, ChannelDestroyedWithConsumersDies) {
           auto item = co_await ch->Pop();
           (void)item;
         };
-        consumer();
+        consumer().Detach();
         ch.reset();
       },
       "Channel destroyed with");

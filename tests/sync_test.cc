@@ -24,7 +24,7 @@ TEST(LatchTest, WaiterResumesWhenCountReachesZero) {
     co_await latch.Wait();
     resumed_at = sim.Now();
   };
-  waiter();
+  waiter().Detach();
   for (int i = 1; i <= 3; ++i) {
     sim.ScheduleAt(i * 10.0, [&] { latch.CountDown(); });
   }
@@ -40,7 +40,7 @@ TEST(LatchTest, MultipleWaiters) {
     co_await latch.Wait();
     ++resumed;
   };
-  for (int i = 0; i < 5; ++i) waiter();
+  for (int i = 0; i < 5; ++i) waiter().Detach();
   sim.ScheduleAt(5.0, [&] { latch.CountDown(); });
   sim.Run();
   EXPECT_EQ(resumed, 5);
@@ -59,7 +59,7 @@ TEST(SemaphoreTest, LimitsConcurrency) {
     sem.Release();
     ++completed;
   };
-  for (int i = 0; i < 6; ++i) worker();
+  for (int i = 0; i < 6; ++i) worker().Detach();
   sim.Run();
   EXPECT_EQ(completed, 6);
   EXPECT_EQ(max_concurrent, 2);
@@ -76,7 +76,7 @@ TEST(SemaphoreTest, ReleaseWithoutWaitersIncrementsCount) {
     co_await sem.WaitAcquire();
     acquired = true;
   };
-  worker();
+  worker().Detach();
   EXPECT_TRUE(acquired);  // permit available, no suspension
 }
 
@@ -90,7 +90,7 @@ TEST(SemaphoreTest, FifoHandoff) {
     order.push_back(id);
     sem.Release();
   };
-  for (int i = 0; i < 4; ++i) worker(i);
+  for (int i = 0; i < 4; ++i) worker(i).Detach();
   sim.Run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
 }
@@ -101,7 +101,7 @@ TEST(ChannelTest, PushThenPop) {
   ch.Push(7);
   std::optional<int> got;
   auto consumer = [&]() -> Task { got = co_await ch.Pop(); };
-  consumer();
+  consumer().Detach();
   sim.Run();
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(*got, 7);
@@ -116,7 +116,7 @@ TEST(ChannelTest, PopBlocksUntilPush) {
     got = co_await ch.Pop();
     got_at = sim.Now();
   };
-  consumer();
+  consumer().Detach();
   sim.ScheduleAt(42.0, [&] { ch.Push(5); });
   sim.Run();
   ASSERT_TRUE(got.has_value());
@@ -142,7 +142,7 @@ TEST(ChannelTest, CloseDrainsThenNullopt) {
       items.push_back(*item);
     }
   };
-  consumer();
+  consumer().Detach();
   sim.Run();
   EXPECT_EQ(items, (std::vector<int>{1, 2}));
   EXPECT_TRUE(saw_end);
@@ -161,7 +161,7 @@ TEST(ChannelTest, ManyConsumersEachItemDeliveredOnce) {
     }
     ++finished;
   };
-  for (int i = 0; i < 4; ++i) consumer();
+  for (int i = 0; i < 4; ++i) consumer().Detach();
   for (int i = 0; i < 100; ++i) {
     sim.ScheduleAt(i * 1.0, [&ch, i] { ch.Push(i); });
   }
@@ -181,7 +181,7 @@ TEST(ChannelTest, WaiterWokenByCloseGetsNullopt) {
     auto item = co_await ch.Pop();
     saw_end = !item.has_value();
   };
-  consumer();
+  consumer().Detach();
   sim.ScheduleAt(1.0, [&] { ch.Close(); });
   sim.Run();
   EXPECT_TRUE(saw_end);
@@ -196,7 +196,7 @@ TEST(EventTest, WaitAfterSetDoesNotSuspend) {
     co_await event.Wait();
     ran = true;
   };
-  waiter();
+  waiter().Detach();
   EXPECT_TRUE(ran);  // no suspension needed
 }
 
@@ -208,7 +208,7 @@ TEST(EventTest, SetWakesAllWaiters) {
     co_await event.Wait();
     ++woken;
   };
-  for (int i = 0; i < 3; ++i) waiter();
+  for (int i = 0; i < 3; ++i) waiter().Detach();
   EXPECT_EQ(woken, 0);
   sim.ScheduleAt(5.0, [&] { event.Set(); });
   sim.Run();
@@ -226,7 +226,7 @@ TEST(EventTest, ResetRearmsForReuse) {
       event.Reset();
     }
   };
-  waiter();
+  waiter().Detach();
   sim.ScheduleAt(10.0, [&] { event.Set(); });
   sim.ScheduleAt(30.0, [&] { event.Set(); });
   sim.Run();

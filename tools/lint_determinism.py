@@ -43,7 +43,10 @@ import sys
 from pathlib import Path
 
 # Directories whose code runs inside (or feeds) the simulated timeline.
-DEFAULT_SCAN_DIRS = ("src/sim", "src/io", "src/core", "src/exec", "src/storage")
+# examples/ is included because example programs are copied as starting
+# points — a wall-clock read or unseeded RNG there propagates into user code.
+DEFAULT_SCAN_DIRS = ("src/sim", "src/io", "src/core", "src/exec",
+                     "src/storage", "examples")
 
 RULES = {
     "RND001": (
@@ -115,13 +118,19 @@ def strip_comments_and_strings(text):
             j = n if j < 0 else j + 2
             out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
             i = j
+        elif c == "'" and i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_"):
+            # Digit separator (100'000) or suffix position — not a literal.
+            out.append(c)
+            i += 1
         elif c in "\"'":
             quote = c
             j = i + 1
             while j < n and text[j] != quote:
                 j += 2 if text[j] == "\\" else 1
             j = min(j + 1, n)
-            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            blank = "".join(ch if ch == "\n" else " "
+                            for ch in text[i + 1:max(i + 1, j - 1)])
+            out.append(quote + blank + (quote if j - i >= 2 else ""))
             i = j
         else:
             out.append(c)
@@ -240,7 +249,7 @@ def run_self_test():
     return 0
 
 
-def main():
+def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", default=".",
                         help="repository root (default: cwd)")
@@ -253,7 +262,7 @@ def main():
     parser.add_argument("paths", nargs="*",
                         help=f"files/dirs to scan (default: "
                              f"{', '.join(DEFAULT_SCAN_DIRS)})")
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
 
     if args.list_rules:
         for rule, (_, message) in RULES.items():

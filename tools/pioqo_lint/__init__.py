@@ -1,0 +1,12 @@
+"""pioqo-lint: project-specific static analysis for the coroutine I/O engine.
+
+Rules (see cli.RULES and the rule modules for details):
+  SUS001  guard/latch/semaphore or PageGuard held across co_await
+  SUS002  capturing lambda-coroutine spawned as a dying temporary
+  SUS003  sim::Task dropped without .Detach()/store/await
+  ERR001  Status/StatusOr/IoResult discarded at a call site
+  ARCH001 include-graph layering enforcement
+
+Run via tools/run_static_analysis.py (the unified entry point) or directly:
+    python3 tools/pioqo_lint --root .
+"""

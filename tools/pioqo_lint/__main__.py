@@ -1,0 +1,12 @@
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    # Invoked as `python3 tools/pioqo_lint`: put tools/ on the path so the
+    # package imports itself absolutely.
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from pioqo_lint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,179 @@
+"""Command-line driver for the pioqo static-analysis suite.
+
+Usage:
+    python3 tools/pioqo_lint [--root DIR] [--allowlist FILE] [--rules R1,R2]
+                             [--list-rules] [--self-test] [paths...]
+
+Default scan set: src/ bench/ tests/ examples/ under --root. Exits 0 when
+clean, 1 when violations were found, 2 on usage errors. See the rule
+modules for what each checker enforces and tools/static_analysis_allowlist.txt
+for the suppression format shared with the determinism lint.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+from pioqo_lint import rules_arch, rules_error, rules_suspend
+from pioqo_lint.scanner import (SourceFile, collect_files, is_allowed,
+                                load_allowlist, relativize)
+
+DEFAULT_SCAN_DIRS = ("src", "bench", "tests", "examples")
+DEFAULT_ALLOWLIST = Path("tools") / "static_analysis_allowlist.txt"
+
+RULES = {
+    "SUS001": "guard/latch/semaphore or PageGuard held across co_await",
+    "SUS002": "capturing lambda-coroutine spawned as a dying temporary",
+    "SUS003": "sim::Task dropped without .Detach()/store/await",
+    "ERR001": "Status/StatusOr/IoResult discarded at a call site",
+    "ARCH001": "include-graph layering (common ← sim ← io ← storage ← core "
+               "← exec ← opt ← db; bench/tests/examples are sinks)",
+}
+
+FIXTURES_DIR = Path(__file__).resolve().parent / "fixtures"
+
+
+def scan(sources, enabled_rules):
+    """Runs every enabled checker over `sources`; returns raw violations."""
+    violations = []
+    task_index = rules_suspend.build_task_index(sources)
+    status_index, awaitable_index = rules_error.build_status_index(sources)
+    for src in sources:
+        # Name lookup is unqualified, so two files may declare same-named
+        # functions with different return types (a test's `sim::Task
+        # RunQuery` vs an example's `StatusOr<> RunQuery`). Calls resolve to
+        # the same-TU declaration first; let a local declaration shadow the
+        # cross-file index so each file is judged by its own signature.
+        local_task = rules_suspend.build_task_index([src])
+        local_status, _ = rules_error.build_status_index([src])
+        local_void = set(rules_error.VOID_FN_DECL.findall(src.code))
+        file_task = task_index - ((local_status | local_void) - local_task)
+        file_status = status_index - ((local_task | local_void) - local_status)
+        if "SUS001" in enabled_rules:
+            violations.extend(rules_suspend.check_sus001(src))
+        if "SUS002" in enabled_rules:
+            violations.extend(rules_suspend.check_sus002(src))
+        if "SUS003" in enabled_rules:
+            violations.extend(rules_suspend.check_sus003(src, file_task))
+        if "ERR001" in enabled_rules:
+            violations.extend(rules_error.check_err001(src, file_status,
+                                                       awaitable_index))
+        if "ARCH001" in enabled_rules:
+            violations.extend(rules_arch.check_arch001(src))
+    return violations
+
+
+def load_sources(files, root):
+    return [SourceFile.load(f, relativize(f, root)) for f in files]
+
+
+def run_self_test():
+    """Every rule must fire on its bad fixture and stay silent on its good
+    one; good fixtures must be clean under the *whole* suite; the allowlist
+    must round-trip."""
+    failures = []
+    for rule in RULES:
+        slug = rule.lower()
+        if rule == "ARCH001":
+            for flavor, expect_hit in (("bad", True), ("good", False)):
+                fixture_root = FIXTURES_DIR / slug / flavor
+                files = collect_files([fixture_root])
+                sources = load_sources(files, fixture_root.resolve())
+                hits = [v for v in scan(sources, {rule}) if v.rule == rule]
+                if expect_hit and not hits:
+                    failures.append(f"{rule} did not fire on {flavor} fixture tree")
+                if not expect_hit and hits:
+                    failures.append(f"{rule} false positives on {flavor} "
+                                    f"fixture tree: {hits}")
+            continue
+        bad = FIXTURES_DIR / f"{slug}_bad.cc"
+        good = FIXTURES_DIR / f"{slug}_good.cc"
+        for fixture, expect_hit in ((bad, True), (good, False)):
+            src = SourceFile.load(fixture, fixture.name)
+            hits = [v for v in scan([src], {rule}) if v.rule == rule]
+            if expect_hit and not hits:
+                failures.append(f"{rule} did not fire on {fixture.name}")
+            if not expect_hit and hits:
+                failures.append(f"{rule} false positives on {fixture.name}: "
+                                f"{[(v.lineno, v.line) for v in hits]}")
+        # Good fixtures must also be clean under every other rule, so the
+        # corpus stays a usable "known-good idioms" reference.
+        src = SourceFile.load(good, good.name)
+        extra = scan([src], set(RULES))
+        if extra:
+            failures.append(f"other rules fired on {good.name}: "
+                            f"{[(v.rule, v.lineno) for v in extra]}")
+    # Allowlist suppression round-trips on a known-bad fixture.
+    bad = FIXTURES_DIR / "err001_bad.cc"
+    src = SourceFile.load(bad, bad.name)
+    hits = scan([src], {"ERR001"})
+    entries = [(bad.name, v.rule, v.line.strip()[:20]) for v in hits]
+    if any(not is_allowed(entries, v) for v in hits):
+        failures.append("allowlist entry failed to suppress ERR001")
+    if failures:
+        print("pioqo-lint self-test FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"pioqo-lint self-test: all {len(RULES)} rules fire on bad "
+          "fixtures, stay silent on good ones, allowlist honored")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="pioqo_lint", description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--allowlist",
+                        help=f"allowlist file (default: <root>/"
+                             f"{DEFAULT_ALLOWLIST})")
+    parser.add_argument("--rules",
+                        help="comma-separated subset of rules to run")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run every rule against its fixture corpus")
+    parser.add_argument("paths", nargs="*",
+                        help=f"files/dirs to scan (default: "
+                             f"{', '.join(DEFAULT_SCAN_DIRS)})")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, summary in RULES.items():
+            print(f"{rule}: {summary}")
+        return 0
+    if args.self_test:
+        return run_self_test()
+
+    enabled = set(RULES)
+    if args.rules:
+        enabled = {r.strip().upper() for r in args.rules.split(",")}
+        unknown = enabled - set(RULES)
+        if unknown:
+            print(f"pioqo-lint: unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+
+    root = Path(args.root).resolve()
+    allowlist_path = (Path(args.allowlist) if args.allowlist
+                      else root / DEFAULT_ALLOWLIST)
+    allowlist = load_allowlist(allowlist_path)
+
+    targets = args.paths or [root / d for d in DEFAULT_SCAN_DIRS
+                             if (root / d).is_dir()]
+    files = collect_files(targets)
+    sources = load_sources(files, root)
+    violations = [v for v in scan(sources, enabled)
+                  if not is_allowed(allowlist, v)]
+    violations.sort(key=lambda v: (v.rel, v.lineno, v.rule))
+
+    if violations:
+        print(f"pioqo-lint: {len(violations)} violation(s):")
+        for v in violations:
+            print(f"{v.rel}:{v.lineno}: [{v.rule}] {v.message}")
+            print(f"    {v.line}")
+        print(f"\n(allowlist: {allowlist_path})")
+        return 1
+    print(f"pioqo-lint: {len(files)} file(s) clean "
+          f"({', '.join(sorted(enabled))})")
+    return 0

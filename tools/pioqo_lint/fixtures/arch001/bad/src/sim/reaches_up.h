@@ -1,0 +1,9 @@
+#ifndef FIXTURE_SIM_REACHES_UP_H_
+#define FIXTURE_SIM_REACHES_UP_H_
+
+// ARCH001 bad fixture: sim reaching up into exec, and into a sink.
+#include "common/status.h"
+#include "exec/query.h"       // ARCH001: sim may not include exec
+#include "tests/device_test_util.h"  // ARCH001: src may not include a sink
+
+#endif

@@ -1,0 +1,14 @@
+#ifndef FIXTURE_EXEC_REACHES_DOWN_H_
+#define FIXTURE_EXEC_REACHES_DOWN_H_
+
+// ARCH001 good fixture: exec including its own layer and everything below.
+#include <vector>
+
+#include "common/status.h"
+#include "core/cost_model.h"
+#include "exec/scan_result.h"
+#include "io/device.h"
+#include "sim/simulator.h"
+#include "storage/table.h"
+
+#endif

@@ -1,0 +1,21 @@
+// ERR001 bad fixture: Status / awaited-Status results silently dropped.
+
+Status Clear();
+io::IoResult BlockingRead(uint64_t offset);
+
+struct Pool {
+  Status Clear();
+};
+
+struct Device {
+  IoAwaiter Read(uint64_t offset, uint32_t length);
+};
+
+sim::Task Driver(Pool& pool, io::Device& device) {
+  pool.Clear();  // ERR001: Status discarded
+  co_await device.Read(0, 4096);  // ERR001: awaited Status discarded
+}
+
+void Flush(Pool* pool) {
+  pool->Clear();  // ERR001: Status discarded
+}

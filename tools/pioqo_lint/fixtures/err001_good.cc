@@ -1,0 +1,19 @@
+// ERR001 good fixture: every Status-bearing result is consumed.
+
+Status Clear();
+
+struct Pool {
+  Status Clear();
+};
+
+sim::Task Driver(Pool& pool, io::Device& device) {
+  Status flushed = pool.Clear();
+  if (!flushed.ok()) Report(flushed);
+  const Status read = co_await device.Read(0, 4096);
+  PIOQO_CHECK(read.ok());
+}
+
+Status Flush(Pool* pool) {
+  PIOQO_RETURN_IF_ERROR(pool->Clear());
+  return Status::OK();
+}

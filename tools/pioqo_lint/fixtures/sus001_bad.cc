@@ -1,0 +1,20 @@
+// SUS001 bad fixture: guards and semaphore critical sections held across a
+// suspension point.
+#include <mutex>
+
+sim::Task HoldsLockAcrossAwait(std::mutex& mu, sim::Simulator& sim) {
+  std::lock_guard<std::mutex> guard(mu);
+  co_await sim::Delay(sim, 10.0);  // SUS001: lock_guard live across await
+}
+
+sim::Task HoldsPageGuardAcrossAwait(storage::BufferPool& pool,
+                                    sim::Simulator& sim) {
+  storage::PageGuard page(pool, 7);
+  co_await sim::Delay(sim, 10.0);  // SUS001: pinned PageGuard across await
+}
+
+sim::Task AwaitInsideCriticalSection(State& s) {
+  co_await s.latch.WaitAcquire();
+  co_await s.cpu.Consume(5.0);  // SUS001: semaphore held across await
+  s.latch.Release();
+}

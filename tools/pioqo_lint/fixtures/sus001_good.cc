@@ -1,0 +1,27 @@
+// SUS001 good fixture: guards scoped to end before any suspension;
+// acquire-only semaphores (handoff protocols) are not critical sections.
+#include <mutex>
+
+sim::Task LockScopedBeforeAwait(std::mutex& mu, sim::Simulator& sim) {
+  {
+    std::lock_guard<std::mutex> guard(mu);
+    Touch();
+  }
+  co_await sim::Delay(sim, 10.0);  // guard already destroyed
+}
+
+sim::Task CriticalSectionWithoutSuspension(State& s) {
+  co_await s.latch.WaitAcquire();
+  Touch();  // no co_await while the latch is held
+  s.latch.Release();
+  co_await s.cpu.Consume(5.0);
+}
+
+sim::Task HandoffSlotProtocol(State& s) {
+  for (int b = 0; b < 4; ++b) {
+    // Acquire-only in this coroutine: the permit is released by a worker
+    // elsewhere, so this is a handoff, not a held critical section.
+    co_await s.slots.WaitAcquire();
+    IssuePrefetch(b);
+  }
+}

@@ -1,0 +1,17 @@
+// SUS002 bad fixture: capturing lambda-coroutines spawned as temporaries.
+// The closure object dies at the end of the full expression; the frame's
+// captures dangle at the first resume.
+
+void SpawnImmediatelyInvoked(sim::Simulator& sim, int& counter) {
+  [&]() -> sim::Task {
+    co_await sim::Delay(sim, 5.0);
+    ++counter;  // dangling capture: closure died at the ';' below
+  }();
+}
+
+void SpawnAsTemporaryArgument(Runner& runner, int& counter) {
+  runner.Spawn([&counter]() -> sim::Task {
+    ++counter;
+    co_return;
+  });
+}

@@ -1,0 +1,15 @@
+// SUS002 good fixture: lambda-coroutines named in a scope that outlives the
+// frame (the repo-wide idiom), or captureless temporaries (nothing dangles).
+
+void NamedLambdaOutlivesFrame(sim::Simulator& sim, int& counter) {
+  auto worker = [&]() -> sim::Task {
+    co_await sim::Delay(sim, 5.0);
+    ++counter;
+  };
+  worker().Detach();
+  sim.Run();  // frame completes while `worker` is still alive
+}
+
+void CapturelessTemporary(Runner& runner) {
+  runner.Spawn([]() -> sim::Task { co_return; });
+}

@@ -1,0 +1,11 @@
+// SUS003 bad fixture: Task return values dropped without acknowledgement.
+
+sim::Task Worker(State& s, int index);
+sim::Task Prefetcher(State& s);
+
+void SpawnTeam(State& s) {
+  Prefetcher(s);  // SUS003: Task dropped
+  for (int w = 0; w < 4; ++w) {
+    Worker(s, w);  // SUS003: Task dropped
+  }
+}

@@ -1,0 +1,11 @@
+// SUS003 good fixture: every spawn is explicitly acknowledged.
+
+sim::Task Worker(State& s, int index);
+sim::Task Prefetcher(State& s);
+
+void SpawnTeam(State& s) {
+  Prefetcher(s).Detach();  // explicit fire-and-forget
+  for (int w = 0; w < 4; ++w) {
+    Worker(s, w).Detach();
+  }
+}

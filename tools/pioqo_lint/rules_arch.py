@@ -1,0 +1,74 @@
+"""ARCH001 — include-graph layering enforcement.
+
+The library is a strict DAG of layers; each layer may include itself and
+anything below it, never above:
+
+    common ← sim ← io ← storage ← core ← exec ← opt ← db
+
+(`core` — the QDTT cost/calibration models — sits between `storage` and
+`exec`: it consumes devices and pages, and is consumed by the executor and
+optimizer.) `bench/`, `tests/` and `examples/` are sinks: they may include
+any layer, but no `src/` layer may include them. The CMake link graph
+already encodes this order; ARCH001 pins the *include* graph to the same
+shape so a convenience `#include "db/..."` deep inside `src/io` cannot
+silently erode the boundary the lifecycle/fault PRs built.
+
+Only quoted project includes whose first path component names a layer are
+checked; system headers and relative includes are ignored.
+"""
+
+import re
+
+from pioqo_lint.scanner import Violation
+
+LAYER_ORDER = ["common", "sim", "io", "storage", "core", "exec", "opt", "db"]
+LAYER_RANK = {name: i for i, name in enumerate(LAYER_ORDER)}
+SINKS = {"bench", "tests", "examples"}
+
+# Matched against raw lines (the stripped view blanks string literals);
+# anchoring on the leading '#' keeps commented-out includes from firing.
+INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+ARCH001_MESSAGE = (
+    "layering violation: {0} may not include \"{1}\" (layer order: "
+    + " ← ".join(LAYER_ORDER)
+    + "; bench/tests/examples are sinks)")
+
+
+def layer_of(rel):
+    """('src', layer) / ('sink', name) / (None, None) for a repo-rel path."""
+    parts = rel.replace("\\", "/").split("/")
+    if not parts:
+        return None, None
+    if parts[0] == "src" and len(parts) > 1 and parts[1] in LAYER_RANK:
+        return "src", parts[1]
+    if parts[0] in SINKS:
+        return "sink", parts[0]
+    # Fixture trees and out-of-tree scans: accept `<layer>/file.h` directly.
+    if parts[0] in LAYER_RANK and len(parts) > 1:
+        return "src", parts[0]
+    return None, None
+
+
+def check_arch001(src):
+    kind, layer = layer_of(src.rel)
+    if kind is None or kind == "sink":
+        return []  # sinks may include anything; unknown paths aren't judged
+    rank = LAYER_RANK[layer]
+    violations = []
+    for lineno, line in enumerate(src.raw_lines, start=1):
+        m = INCLUDE.match(line)
+        if not m:
+            continue
+        first = m.group(1).replace("\\", "/").split("/")[0]
+        bad = False
+        if first in LAYER_RANK:
+            bad = LAYER_RANK[first] > rank
+        elif first in SINKS:
+            bad = True  # src must never reach into bench/tests/examples
+        if bad:
+            violations.append(Violation(
+                src.rel, lineno, "ARCH001",
+                ARCH001_MESSAGE.format(f"src/{layer}", m.group(1)),
+                src.raw_line(lineno)))
+    return violations

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Unified entry point for pioqo's static-analysis suite.
+
+Runs, in order:
+
+  1. tools/lint_determinism.py   — RND/PORT/WALL/SEED/ORD rules over the
+                                   simulated paths and examples/
+  2. tools/pioqo_lint/           — SUS001-003 suspend-safety, ERR001
+                                   status-discard, ARCH001 layering over
+                                   src/ bench/ tests/ examples/
+
+Both linters share the same allowlist format
+(`<path-suffix>:<rule-id>:<substring-of-line>`); suppressions live in
+tools/determinism_allowlist.txt and tools/static_analysis_allowlist.txt
+respectively, each entry with a justification comment.
+
+Usage:
+    run_static_analysis.py [--root DIR] [--self-test] [--list-rules]
+
+Exits 0 when every linter is clean, 1 when any reported violations, 2 on
+usage errors. `--self-test` runs each linter's fixture corpus instead of
+scanning the tree (this is what the `static_analysis_test` ctest target
+runs; the tree scan itself is the `static_analysis_tree` target).
+"""
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+TOOLS_DIR = Path(__file__).resolve().parent
+
+
+def run_linter(name, cmd):
+    print(f"=== {name} ===")
+    result = subprocess.run(cmd, cwd=TOOLS_DIR.parent)
+    print()
+    return result.returncode
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: the tools/ parent)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run each linter's fixture corpus")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    root = str(Path(args.root).resolve()) if args.root else str(TOOLS_DIR.parent)
+    py = sys.executable or "python3"
+    determinism = [py, str(TOOLS_DIR / "lint_determinism.py")]
+    pioqo_lint = [py, str(TOOLS_DIR / "pioqo_lint")]
+
+    if args.list_rules:
+        rc = run_linter("determinism lint", determinism + ["--list-rules"])
+        rc |= run_linter("pioqo-lint", pioqo_lint + ["--list-rules"])
+        return 2 if rc else 0
+
+    mode = ["--self-test"] if args.self_test else ["--root", root]
+    failures = []
+    if run_linter("determinism lint", determinism + mode) != 0:
+        failures.append("determinism lint")
+    if run_linter("pioqo-lint", pioqo_lint + mode) != 0:
+        failures.append("pioqo-lint")
+
+    if failures:
+        print(f"static analysis FAILED: {', '.join(failures)}")
+        return 1
+    print("static analysis: all linters clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
