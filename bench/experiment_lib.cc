@@ -151,4 +151,12 @@ std::string Ms(double us) {
   return buf;
 }
 
+int BenchThreadsFromEnv() {
+  if (const char* env = std::getenv("PIOQO_BENCH_THREADS")) {
+    return std::max(1, std::atoi(env));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
 }  // namespace pioqo::bench

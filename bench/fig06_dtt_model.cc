@@ -6,9 +6,12 @@
 // (sequential) is cheapest on both.
 
 #include <cstdio>
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "core/calibrator.h"
+#include "experiment_lib.h"
 #include "io/device_factory.h"
 #include "sim/simulator.h"
 
@@ -24,13 +27,20 @@ int main() {
 
   std::printf("%12s %14s %14s\n", "band (pages)", "HDD us/page",
               "SSD us/page");
-  sim::Simulator sim_hdd, sim_ssd;
-  auto hdd = io::MakeDevice(sim_hdd, io::DeviceKind::kHdd7200);
-  auto ssd = io::MakeDevice(sim_ssd, io::DeviceKind::kSsdConsumer);
-  core::Calibrator cal_hdd(sim_hdd, *hdd, options);
-  core::Calibrator cal_ssd(sim_ssd, *ssd, options);
-  auto hdd_model = cal_hdd.Calibrate().model;
-  auto ssd_model = cal_ssd.Calibrate().model;
+  // Each device calibrates in its own fan-out cell (own Simulator, own
+  // device model); collection order is fixed, so output is unchanged.
+  std::vector<std::function<core::QdttModel()>> cells;
+  for (io::DeviceKind kind :
+       {io::DeviceKind::kHdd7200, io::DeviceKind::kSsdConsumer}) {
+    cells.emplace_back([kind, options] {
+      sim::Simulator sim;
+      auto device = io::MakeDevice(sim, kind);
+      return core::Calibrator(sim, *device, options).Calibrate().model;
+    });
+  }
+  std::vector<core::QdttModel> models = bench::RunCells(cells);
+  const core::QdttModel& hdd_model = models[0];
+  const core::QdttModel& ssd_model = models[1];
 
   for (uint64_t band : hdd_model.band_grid()) {
     std::printf("%12llu %14.1f %14.1f\n",

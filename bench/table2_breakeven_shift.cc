@@ -12,7 +12,9 @@
 // shifts; break-evens shrink as rows-per-page grows.
 
 #include <cstdio>
+#include <functional>
 #include <map>
+#include <vector>
 
 #include "experiment_lib.h"
 
@@ -24,20 +26,33 @@ int main() {
   struct Row {
     double np = 0, p = 0;
   };
-  std::map<uint32_t, std::map<std::string, Row>> rows;  // rpp -> device -> data
 
-  for (const auto& config : db::PaperExperimentConfigs(scale)) {
-    auto rig = bench::MakeRig(config, /*calibrate=*/false);
-    auto points = bench::RunFig4Sweep(rig, bench::Fig4Selectivities(config));
-    Row row;
-    row.np = bench::CrossoverSelectivity(
-        points, [](const auto& p) { return p.is_us; },
-        [](const auto& p) { return p.fts_us; });
-    row.p = bench::CrossoverSelectivity(
-        points, [](const auto& p) { return p.pis32_us; },
-        [](const auto& p) { return p.pfts32_us; });
-    rows[config.rows_per_page]
-        [std::string(io::DeviceKindName(config.device))] = row;
+  // One fan-out cell per Table 1 configuration: each builds its own rig
+  // (database, device, simulator) and runs the full Fig. 4 sweep; results
+  // come back in config order, so the table is identical at any thread
+  // count.
+  const auto configs = db::PaperExperimentConfigs(scale);
+  std::vector<std::function<Row()>> cells;
+  for (const auto& config : configs) {
+    cells.emplace_back([config] {
+      auto rig = bench::MakeRig(config, /*calibrate=*/false);
+      auto points = bench::RunFig4Sweep(rig, bench::Fig4Selectivities(config));
+      Row row;
+      row.np = bench::CrossoverSelectivity(
+          points, [](const auto& p) { return p.is_us; },
+          [](const auto& p) { return p.fts_us; });
+      row.p = bench::CrossoverSelectivity(
+          points, [](const auto& p) { return p.pis32_us; },
+          [](const auto& p) { return p.pfts32_us; });
+      return row;
+    });
+  }
+  const std::vector<Row> cell_rows = bench::RunCells(cells);
+
+  std::map<uint32_t, std::map<std::string, Row>> rows;  // rpp -> device -> data
+  for (size_t i = 0; i < configs.size(); ++i) {
+    rows[configs[i].rows_per_page]
+        [std::string(io::DeviceKindName(configs[i].device))] = cell_rows[i];
   }
 
   std::printf("%-14s %10s %10s %10s %10s %10s %10s\n", "rows per page",

@@ -2,6 +2,7 @@
 #define PIOQO_IO_DEVICE_H_
 
 #include <coroutine>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>

@@ -66,14 +66,15 @@ void FaultInjectingDevice::SubmitImpl(uint64_t id, const IoRequest& req,
   // latency stretch (mult - 1 times the observed inner service time).
   const double submit_time = sim_.Now();
   inner_.Submit(req, [this, done = std::move(done), submit_time, spike_us,
-                      latency_mult](const IoResult& result) {
+                      latency_mult](const IoResult& result) mutable {
     const double service = sim_.Now() - submit_time;
     const double delay = spike_us + service * (latency_mult - 1.0);
     if (delay <= 0.0) {
       done(result);
       return;
     }
-    sim_.ScheduleAfter(delay, [done, result] { done(result); });
+    sim_.ScheduleAfter(delay,
+                       [done = std::move(done), result] { done(result); });
   });
 }
 

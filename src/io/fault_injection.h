@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/rng.h"
 #include "io/device.h"
 
@@ -109,12 +110,13 @@ class FaultInjectingDevice : public Device {
   FaultConfig config_;
   Pcg32 rng_;
   uint64_t total_injected_ = 0;
-  /// Ids of injected stuck requests, reclaimable via Cancel.
-  std::unordered_set<uint64_t> stuck_ids_;
+  /// Ids of injected stuck requests, reclaimable via Cancel. Request ids
+  /// are sequential, so both tables use the mixing IntHash.
+  std::unordered_set<uint64_t, IntHash> stuck_ids_;
   /// Outer id -> inner id for passthrough submissions, so a Cancel can
   /// chase the request into the wrapped device's queues. Entries are erased
   /// when the inner completion fires.
-  std::unordered_map<uint64_t, uint64_t> forwarded_;
+  std::unordered_map<uint64_t, uint64_t, IntHash> forwarded_;
 };
 
 }  // namespace pioqo::io

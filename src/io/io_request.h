@@ -2,9 +2,9 @@
 #define PIOQO_IO_IO_REQUEST_H_
 
 #include <cstdint>
-#include <functional>
 
 #include "common/status.h"
+#include "sim/inline_function.h"
 
 namespace pioqo::io {
 
@@ -35,7 +35,12 @@ struct [[nodiscard]] IoResult {
 /// (successfully or with an error). A request swallowed by a fault injector
 /// as "stuck" is the single exception: its completion never fires, and the
 /// caller's timeout deadline is responsible for recovery.
-using CompletionFn = std::function<void(const IoResult&)>;
+///
+/// Small-buffer-optimized and move-only: completions are invoked exactly
+/// once, and the typical capture (a this-pointer plus a few words of request
+/// state) fits the 48-byte inline buffer, so submitting an I/O allocates
+/// nothing for the completion path (DESIGN.md §11).
+using CompletionFn = sim::InlineFunction<void(const IoResult&), 48>;
 
 }  // namespace pioqo::io
 

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "io/device.h"
 
 namespace pioqo::io {
@@ -73,6 +74,7 @@ struct SsdGeometry {
 class SsdDevice : public Device {
  public:
   SsdDevice(sim::Simulator& sim, SsdGeometry geometry, std::string name = "ssd");
+  ~SsdDevice() override;
 
   uint64_t capacity_bytes() const override { return geometry_.capacity_bytes; }
   std::string name() const override { return name_; }
@@ -99,6 +101,11 @@ class SsdDevice : public Device {
   /// A command still waiting for an NCQ slot in the admission queue can be
   /// dropped; one the controller already admitted cannot.
   bool CancelImpl(uint64_t id) override;
+  /// Commands are recycled through `command_pool_` so steady-state traffic
+  /// allocates nothing per command; the pool's high-water mark is the
+  /// maximum number of simultaneously outstanding commands.
+  Command* AllocCommand(uint64_t id, const IoRequest& req, CompletionFn done);
+  void FreeCommand(Command* cmd);
   void Admit(Command* cmd);
   void UnitMaybeStart(int unit);
   void BusMaybeStart();
@@ -121,10 +128,15 @@ class SsdDevice : public Device {
   uint64_t last_read_end_ = UINT64_MAX;  // readahead detection
 
   // FTL map cache: segment id -> position in LRU list (front = most recent).
+  // Mix-hashed (segment ids are sequential under streaming reads) and
+  // pre-sized to the cache capacity, so lookups never rehash.
   std::list<uint64_t> ftl_lru_;
-  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> ftl_index_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator, IntHash>
+      ftl_index_;
   uint64_t ftl_hits_ = 0;
   uint64_t ftl_misses_ = 0;
+
+  std::vector<Command*> command_pool_;
 };
 
 }  // namespace pioqo::io

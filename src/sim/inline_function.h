@@ -1,0 +1,221 @@
+#ifndef PIOQO_SIM_INLINE_FUNCTION_H_
+#define PIOQO_SIM_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pioqo::sim {
+
+/// A move-only type-erased callable with a small-buffer optimization sized
+/// for the simulator's hot path.
+///
+/// Rationale: libstdc++'s `std::function` only stores captures inline when
+/// they are trivially copyable and at most 16 bytes (two words). Nearly every
+/// callback the simulator and the I/O layer schedule captures a this-pointer
+/// plus two or three words of state (a token, a request id, a latency), which
+/// pushes past that limit — so with `std::function` *every scheduled event*
+/// costs a malloc/free pair. `InlineFunction` raises the inline capacity to
+/// `kCapacity` bytes (default users: `InlineCallback` at 48) and drops the
+/// copyability requirement, so those callbacks — including ones holding
+/// move-only state — live inside the event itself. Oversized captures fall
+/// back to a single heap allocation, same as `std::function`, so correctness
+/// never depends on fitting.
+///
+/// Differences from `std::function` that callers must respect:
+///   - move-only: events are scheduled once and run once, so copyability
+///     buys nothing and would forbid move-only captures. Copyable callables
+///     (including lvalue `std::function`s) still *convert* fine — they are
+///     copied in on construction.
+///   - no `target()` / RTTI, no allocator support.
+///   - calling an empty InlineFunction is undefined (checked by callers:
+///     `Simulator::ScheduleAt` asserts non-empty at the single entry point).
+template <typename Signature, size_t kCapacity>
+class InlineFunction;
+
+template <typename R, typename... Args, size_t kCapacity>
+class InlineFunction<R(Args...), kCapacity> {
+ public:
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  /// Converting constructor: copies or moves `f` into the inline buffer when
+  /// it fits (and is nothrow-movable, so heap growth of containers holding
+  /// us can relocate safely), otherwise into a single heap allocation.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InlineFunction> &&
+                !std::is_same_v<D, std::nullptr_t> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(runtime/explicit)
+    using Inline = std::bool_constant<fits_inline<D>>;
+    Construct<D>(Inline{}, std::forward<F>(f));
+    ops_ = &OpsFor<D, fits_inline<D>>::ops;
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) noexcept {
+    Reset();
+    return *this;
+  }
+
+  /// Converting assignment: erases the callable in place (no intermediate
+  /// InlineFunction temporary), which is what lets the simulator move a
+  /// caller's lambda straight into its event slab with a single copy.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InlineFunction> &&
+                !std::is_same_v<D, std::nullptr_t> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction& operator=(F&& f) {
+    Reset();
+    using Inline = std::bool_constant<fits_inline<D>>;
+    Construct<D>(Inline{}, std::forward<F>(f));
+    ops_ = &OpsFor<D, fits_inline<D>>::ops;
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  /// Const like `std::function::operator()`: const-ness of the wrapper does
+  /// not propagate to the target, so a callback captured by value in a
+  /// non-mutable lambda stays invocable.
+  R operator()(Args... args) const {
+    return ops_->invoke(const_cast<Storage*>(&storage_),
+                        std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  friend bool operator==(const InlineFunction& f, std::nullptr_t) noexcept {
+    return f.ops_ == nullptr;
+  }
+  friend bool operator!=(const InlineFunction& f, std::nullptr_t) noexcept {
+    return f.ops_ != nullptr;
+  }
+
+  /// True when a callable of type `F` is stored in the inline buffer rather
+  /// than on the heap (exposed for tests; decisions are made at compile
+  /// time, so this is a property of the type, not the instance).
+  template <typename F>
+  static constexpr bool stores_inline() {
+    return fits_inline<std::decay_t<F>>;
+  }
+
+ private:
+  union Storage {
+    alignas(std::max_align_t) unsigned char buf[kCapacity];
+    void* heap;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= kCapacity && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  struct Ops {
+    R (*invoke)(Storage*, Args&&...);
+    /// Relocates the callable from `from` into `to` (move + destroy source).
+    /// Null when a plain copy of the storage bytes is a correct relocation
+    /// (trivially copyable inline callables, and the heap case where the
+    /// storage is just a pointer) — the move path then skips the indirect
+    /// call entirely, which is what keeps event scheduling cheap.
+    void (*relocate)(Storage* from, Storage* to) noexcept;
+    /// Null when destruction is a no-op (trivially destructible inline
+    /// callables).
+    void (*destroy)(Storage*) noexcept;
+  };
+
+  template <typename D, bool kInline>
+  struct OpsFor;
+
+  template <typename D>
+  struct OpsFor<D, true> {
+    static D* Get(Storage* s) { return std::launder(reinterpret_cast<D*>(s->buf)); }
+    static constexpr bool kTrivialMove = std::is_trivially_copyable_v<D>;
+    static constexpr bool kTrivialDestroy = std::is_trivially_destructible_v<D>;
+    static constexpr Ops ops = {
+        +[](Storage* s, Args&&... args) -> R {
+          return (*Get(s))(std::forward<Args>(args)...);
+        },
+        kTrivialMove ? nullptr
+                     : +[](Storage* from, Storage* to) noexcept {
+                         ::new (static_cast<void*>(to->buf))
+                             D(std::move(*Get(from)));
+                         Get(from)->~D();
+                       },
+        kTrivialDestroy ? nullptr
+                        : +[](Storage* s) noexcept { Get(s)->~D(); },
+    };
+  };
+
+  template <typename D>
+  struct OpsFor<D, false> {
+    static D* Get(Storage* s) { return static_cast<D*>(s->heap); }
+    static constexpr Ops ops = {
+        +[](Storage* s, Args&&... args) -> R {
+          return (*Get(s))(std::forward<Args>(args)...);
+        },
+        nullptr,  // relocation is the pointer copy the trivial path does
+        +[](Storage* s) noexcept { delete Get(s); },
+    };
+  };
+
+  template <typename D, typename F>
+  void Construct(std::true_type /*inline*/, F&& f) {
+    ::new (static_cast<void*>(storage_.buf)) D(std::forward<F>(f));
+  }
+
+  template <typename D, typename F>
+  void Construct(std::false_type /*heap*/, F&& f) {
+    storage_.heap = new D(std::forward<F>(f));
+  }
+
+  void MoveFrom(InlineFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->relocate == nullptr) {
+        storage_ = other.storage_;  // trivial relocation: copy the bytes
+      } else {
+        ops_->relocate(&other.storage_, &storage_);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  Storage storage_;
+  const Ops* ops_ = nullptr;
+};
+
+/// The simulator's event callback: 48 bytes of inline capture covers a
+/// this-pointer plus five words — every callback in src/sim and nearly every
+/// one in src/io and src/storage (see DESIGN.md §11 for the budget).
+using InlineCallback = InlineFunction<void(), 48>;
+
+}  // namespace pioqo::sim
+
+#endif  // PIOQO_SIM_INLINE_FUNCTION_H_

@@ -16,6 +16,10 @@ BufferPool::BufferPool(DiskImage& disk, uint32_t capacity_pages,
       options_(options),
       retry_rng_(options.retry_seed) {
   PIOQO_CHECK(capacity_pages >= 2);
+  // Pre-size to the high-water mark: at most `capacity_` frames can ever be
+  // resident or loading, and each inflight read covers >= 1 frame.
+  frames_.reserve(capacity_pages);
+  inflight_.reserve(capacity_pages);
 }
 
 BufferPool::FetchAwaiter::~FetchAwaiter() {

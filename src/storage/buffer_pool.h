@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "io/query_context.h"
@@ -232,8 +233,12 @@ class BufferPool {
   const uint32_t capacity_;
   BufferPoolOptions options_;
   Pcg32 retry_rng_;
-  std::unordered_map<PageId, Frame> frames_;
-  std::unordered_map<uint64_t, InflightRead> inflight_;
+  /// Both hot-path maps use the mixing IntHash (sequential PageIds /
+  /// monotonically increasing read ids would otherwise cluster under the
+  /// identity std::hash) and are pre-sized in the constructor so steady-state
+  /// fetch traffic never rehashes.
+  std::unordered_map<PageId, Frame, IntHash> frames_;
+  std::unordered_map<uint64_t, InflightRead, IntHash> inflight_;
   uint64_t next_read_id_ = 1;
   std::list<PageId> lru_;  // front = most recent
   BufferPoolStats stats_;

@@ -1,0 +1,154 @@
+#include "sim/inline_function.h"
+
+#include <memory>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace pioqo::sim {
+namespace {
+
+/// Move-aware instance counter for destruction/lifetime assertions.
+struct Counted {
+  explicit Counted(int* live) : live(live) { ++*live; }
+  Counted(const Counted& other) : live(other.live) { ++*live; }
+  Counted(Counted&& other) noexcept : live(other.live) { ++*live; }
+  ~Counted() { --*live; }
+  int* live;
+};
+
+TEST(InlineCallbackTest, EmptyComparesToNullptr) {
+  InlineCallback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+  EXPECT_TRUE(cb == nullptr);
+  cb = [] {};
+  EXPECT_TRUE(cb != nullptr);
+  cb = nullptr;
+  EXPECT_TRUE(cb == nullptr);
+}
+
+TEST(InlineCallbackTest, SmallCaptureStoredInline) {
+  int hits = 0;
+  auto lambda = [&hits] { ++hits; };
+  static_assert(InlineCallback::stores_inline<decltype(lambda)>());
+  InlineCallback cb = lambda;
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallbackTest, CapacityBoundaryIsInline) {
+  struct Fits {
+    char bytes[48];
+  };
+  struct TooBig {
+    char bytes[49];
+  };
+  auto fits = [p = Fits{}] { (void)p; };
+  auto too_big = [p = TooBig{}] { (void)p; };
+  static_assert(InlineCallback::stores_inline<decltype(fits)>());
+  static_assert(!InlineCallback::stores_inline<decltype(too_big)>());
+  // Both must still be callable — oversized captures fall back to the heap.
+  InlineCallback a = std::move(fits);
+  InlineCallback b = std::move(too_big);
+  a();
+  b();
+}
+
+TEST(InlineCallbackTest, HeapFallbackInvokesCorrectly) {
+  struct Big {
+    double values[16];
+  };
+  Big big{};
+  big.values[7] = 42.0;
+  double seen = 0.0;
+  auto lambda = [big, &seen] { seen = big.values[7]; };
+  static_assert(!InlineCallback::stores_inline<decltype(lambda)>());
+  InlineCallback cb = lambda;
+  cb();
+  EXPECT_DOUBLE_EQ(seen, 42.0);
+}
+
+TEST(InlineCallbackTest, MoveOnlyCaptures) {
+  auto ptr = std::make_unique<int>(7);
+  int seen = 0;
+  InlineCallback cb = [p = std::move(ptr), &seen] { seen = *p; };
+  // The wrapper itself is move-only and moving transfers the capture.
+  InlineCallback moved = std::move(cb);
+  EXPECT_TRUE(cb == nullptr);
+  moved();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(InlineCallbackTest, DestroysInlineCaptureExactlyOnce) {
+  int live = 0;
+  {
+    InlineCallback cb = [c = Counted(&live)] { (void)c; };
+    EXPECT_EQ(live, 1);
+    cb();
+    EXPECT_EQ(live, 1);  // invocation does not destroy the capture
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(InlineCallbackTest, DestroysHeapCaptureExactlyOnce) {
+  struct Pad {
+    double values[16];
+  };
+  int live = 0;
+  {
+    InlineCallback cb;
+    {
+      auto lambda = [c = Counted(&live), pad = Pad{}] { (void)c, (void)pad; };
+      static_assert(!InlineCallback::stores_inline<decltype(lambda)>());
+      cb = std::move(lambda);
+      // The moved-from local still holds a (moved-from) Counted until its
+      // scope ends.
+      EXPECT_EQ(live, 2);
+    }
+    EXPECT_EQ(live, 1);
+    InlineCallback moved = std::move(cb);  // heap case: pointer handoff
+    EXPECT_EQ(live, 1);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(InlineCallbackTest, MoveLeavesSourceEmptyAndDestroysNothing) {
+  int live = 0;
+  InlineCallback cb = [c = Counted(&live)] { (void)c; };
+  EXPECT_EQ(live, 1);
+  InlineCallback moved = std::move(cb);
+  EXPECT_EQ(live, 1);  // relocated, not duplicated
+  EXPECT_TRUE(cb == nullptr);
+  moved = nullptr;
+  EXPECT_EQ(live, 0);
+}
+
+TEST(InlineCallbackTest, AssignmentReplacesAndDestroysOldTarget) {
+  int live_a = 0, live_b = 0;
+  InlineCallback cb = [c = Counted(&live_a)] { (void)c; };
+  EXPECT_EQ(live_a, 1);
+  cb = [c = Counted(&live_b)] { (void)c; };
+  EXPECT_EQ(live_a, 0);  // old target destroyed by converting assignment
+  EXPECT_EQ(live_b, 1);
+  cb = nullptr;
+  EXPECT_EQ(live_b, 0);
+}
+
+TEST(InlineCallbackTest, ReturnValuesAndArguments) {
+  InlineFunction<int(int, int), 48> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+  InlineFunction<int(std::unique_ptr<int>), 48> deref =
+      [](std::unique_ptr<int> p) { return *p; };
+  EXPECT_EQ(deref(std::make_unique<int>(9)), 9);
+}
+
+TEST(InlineCallbackTest, ConstWrapperStillInvocable) {
+  int hits = 0;
+  const InlineCallback cb = [&hits] { ++hits; };
+  cb();
+  EXPECT_EQ(hits, 1);
+}
+
+}  // namespace
+}  // namespace pioqo::sim

@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -81,6 +83,131 @@ TEST(SimulatorTest, StepExecutesOneEvent) {
   EXPECT_TRUE(sim.Step());
   EXPECT_FALSE(sim.Step());
   EXPECT_EQ(sim.num_executed(), 2u);
+}
+
+TEST(SimulatorTest, HeapOrderingStress) {
+  // Exercises the 4-ary heap across growth, shrink, and deep sifts:
+  // pseudo-random times must come out in exact (time, seq) order.
+  Simulator sim;
+  std::vector<std::pair<double, int>> fired;
+  uint64_t rng = 0x9e3779b97f4a7c15ULL;
+  std::vector<std::pair<double, int>> expected;
+  for (int i = 0; i < 1000; ++i) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    // Coarse quantization forces plenty of same-instant ties.
+    const double t = static_cast<double>(rng % 64);
+    expected.emplace_back(t, i);
+    sim.ScheduleAt(t, [&fired, t, i] { fired.emplace_back(t, i); });
+  }
+  EXPECT_EQ(sim.num_pending(), 1000u);
+  sim.Run();
+  // Stable sort by time == (time, scheduling order), the simulator's
+  // documented execution order.
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(sim.num_pending(), 0u);
+  EXPECT_EQ(sim.num_executed(), 1000u);
+}
+
+TEST(SimulatorTest, SameInstantTieBreakSurvivesInterleavedPops) {
+  // Ties must hold by scheduling order even when pops interleave with new
+  // same-instant pushes (the heap repacks nodes during every sift).
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(5.0, [&] {
+    order.push_back(0);
+    for (int i = 3; i >= 1; --i) {
+      sim.ScheduleAt(5.0, [&order, i] { order.push_back(i); });
+    }
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 3, 2, 1}));
+}
+
+TEST(SimulatorTest, CancelledEventIsSkipped) {
+  Simulator sim;
+  bool deadline_fired = false;
+  int work_fired = 0;
+  const uint64_t token =
+      sim.ScheduleCancellableAfter(100.0, [&] { deadline_fired = true; });
+  sim.ScheduleAfter(10.0, [&] {
+    ++work_fired;
+    EXPECT_TRUE(sim.Cancel(token));
+  });
+  sim.Run();
+  EXPECT_FALSE(deadline_fired);
+  EXPECT_EQ(work_fired, 1);
+  // A skipped event does not advance the clock past the last real event.
+  EXPECT_DOUBLE_EQ(sim.Now(), 10.0);
+}
+
+TEST(SimulatorTest, CancelledEventLeavesTraceIdentical) {
+  // The bit-identity contract: a cancelled event neither runs, advances the
+  // clock, nor enters the trace hash. With the deadline armed after the
+  // rest of the cohort (so it takes the highest seq number), cancelling it
+  // in time leaves the hash equal to never having armed it. (A deadline
+  // armed *before* other schedules still shifts their sequence numbers —
+  // there the guarantee is replay determinism, not cross-scenario
+  // identity.)
+  auto run = [](bool arm_deadline) {
+    Simulator sim;
+    uint64_t token = 0;
+    sim.ScheduleAfter(5.0, [&sim, &token, arm_deadline] {
+      if (arm_deadline) {
+        EXPECT_TRUE(sim.Cancel(token));
+      }
+    });
+    sim.ScheduleAfter(20.0, [] {});
+    if (arm_deadline) {
+      token = sim.ScheduleCancellableAfter(100.0, [] { ADD_FAILURE(); });
+    }
+    sim.Run();
+    return sim.trace_hash();
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(SimulatorTest, CancelIsIdempotentAndFalseAfterFire) {
+  Simulator sim;
+  int fired = 0;
+  const uint64_t token = sim.ScheduleCancellableAfter(10.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.Cancel(token));
+  EXPECT_FALSE(sim.Cancel(token));  // already cancelled
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+
+  const uint64_t token2 = sim.ScheduleCancellableAfter(10.0, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.Cancel(token2));  // already fired
+}
+
+TEST(SimulatorTest, StaleTokenDoesNotCancelSlotReuse) {
+  // After an event fires, its slab slot is recycled; an old token must not
+  // be able to cancel the new occupant (generation check).
+  Simulator sim;
+  const uint64_t stale = sim.ScheduleCancellableAfter(1.0, [] {});
+  sim.Run();
+  bool fired = false;
+  sim.ScheduleCancellableAfter(1.0, [&] { fired = true; });  // reuses slot
+  EXPECT_FALSE(sim.Cancel(stale));
+  sim.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, PendingCountTracksCancellation) {
+  Simulator sim;
+  const uint64_t token = sim.ScheduleCancellableAfter(50.0, [] {});
+  sim.ScheduleAfter(10.0, [] {});
+  EXPECT_EQ(sim.num_pending(), 2u);
+  EXPECT_TRUE(sim.Cancel(token));
+  EXPECT_EQ(sim.num_pending(), 1u);  // cancelled events are not pending
+  sim.Run();
+  EXPECT_EQ(sim.num_pending(), 0u);
+  EXPECT_EQ(sim.num_executed(), 1u);
 }
 
 Task CountingCoroutine(Simulator& sim, std::vector<double>& times, int hops) {

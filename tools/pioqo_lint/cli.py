@@ -14,7 +14,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from pioqo_lint import rules_arch, rules_error, rules_suspend
+from pioqo_lint import rules_arch, rules_error, rules_perf, rules_suspend
 from pioqo_lint.scanner import (SourceFile, collect_files, is_allowed,
                                 load_allowlist, relativize)
 
@@ -28,7 +28,13 @@ RULES = {
     "ERR001": "Status/StatusOr/IoResult discarded at a call site",
     "ARCH001": "include-graph layering (common ← sim ← io ← storage ← core "
                "← exec ← opt ← db; bench/tests/examples are sinks)",
+    "PERF001": "std::function declared in a hot-path layer (src/sim, src/io);"
+               " use sim::InlineFunction",
 }
+
+# Rules whose fixtures are directory trees (the rule is path-gated), not
+# single files.
+TREE_FIXTURE_RULES = {"ARCH001", "PERF001"}
 
 FIXTURES_DIR = Path(__file__).resolve().parent / "fixtures"
 
@@ -60,6 +66,8 @@ def scan(sources, enabled_rules):
                                                        awaitable_index))
         if "ARCH001" in enabled_rules:
             violations.extend(rules_arch.check_arch001(src))
+        if "PERF001" in enabled_rules:
+            violations.extend(rules_perf.check_perf001(src))
     return violations
 
 
@@ -74,7 +82,7 @@ def run_self_test():
     failures = []
     for rule in RULES:
         slug = rule.lower()
-        if rule == "ARCH001":
+        if rule in TREE_FIXTURE_RULES:
             for flavor, expect_hit in (("bad", True), ("good", False)):
                 fixture_root = FIXTURES_DIR / slug / flavor
                 files = collect_files([fixture_root])

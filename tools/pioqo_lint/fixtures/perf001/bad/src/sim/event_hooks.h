@@ -1,0 +1,22 @@
+#ifndef FIXTURE_SIM_EVENT_HOOKS_H_
+#define FIXTURE_SIM_EVENT_HOOKS_H_
+
+// PERF001 bad fixture: std::function declared inside a hot-path layer —
+// a member, a parameter, and an alias all fire.
+#include <functional>
+
+namespace pioqo::sim {
+
+using EventHook = std::function<void()>;  // PERF001
+
+class HookRegistry {
+ public:
+  void Install(std::function<void(int)> hook);  // PERF001
+
+ private:
+  std::function<void()> on_idle_;  // PERF001
+};
+
+}  // namespace pioqo::sim
+
+#endif

@@ -1,0 +1,22 @@
+#ifndef FIXTURE_SIM_EVENT_HOOKS_GOOD_H_
+#define FIXTURE_SIM_EVENT_HOOKS_GOOD_H_
+
+// PERF001 good fixture: hot-path callbacks use sim::InlineFunction; a
+// std::function mentioned only in a comment must not fire.
+#include "sim/inline_function.h"
+
+namespace pioqo::sim {
+
+using EventHook = InlineFunction<void(), 48>;
+
+class HookRegistry {
+ public:
+  void Install(InlineFunction<void(int), 48> hook);
+
+ private:
+  EventHook on_idle_;
+};
+
+}  // namespace pioqo::sim
+
+#endif

@@ -1,0 +1,14 @@
+#ifndef FIXTURE_STORAGE_PREFETCH_POLICY_GOOD_H_
+#define FIXTURE_STORAGE_PREFETCH_POLICY_GOOD_H_
+
+// PERF001 good fixture: std::function outside the hot-path layers
+// (src/storage and above run per-query, not per-event) is not judged.
+#include <functional>
+
+namespace pioqo::storage {
+
+using PrefetchPolicy = std::function<int(unsigned long)>;
+
+}  // namespace pioqo::storage
+
+#endif

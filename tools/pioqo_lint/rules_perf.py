@@ -1,0 +1,62 @@
+"""PERF001 — no std::function in the simulator / I/O hot paths.
+
+The engine's performance PR (DESIGN.md §11) replaced every per-event
+`std::function<void()>` with `sim::InlineFunction` precisely because
+libstdc++'s `std::function` heap-allocates any capture over two words —
+which made *every scheduled event and every submitted I/O* a malloc/free
+pair. PERF001 keeps that fixed: inside `src/sim/` and `src/io/` (the layers
+every simulated event flows through), declaring a `std::function` member,
+parameter, alias target, or local is flagged. Use `sim::InlineFunction`
+(48-byte inline capture, move-only, heap fallback for oversized captures)
+instead.
+
+Public factory-style APIs that legitimately want copyable type erasure off
+the hot path — e.g. `Device::CompletionObserver`, installed once per device
+and only invoked per completion *batch* — are suppressed through the shared
+allowlist (tools/static_analysis_allowlist.txt), so each exception carries
+a written justification.
+
+Other layers (`src/storage` upward, bench/, tests/) are not judged:
+`std::function` is fine where calls are per-query or per-experiment rather
+than per-event.
+"""
+
+import re
+
+from pioqo_lint.scanner import Violation
+
+# Layers whose files are on the per-event hot path.
+HOT_LAYERS = {"sim", "io"}
+
+STD_FUNCTION = re.compile(r"\bstd\s*::\s*function\s*<")
+
+PERF001_MESSAGE = (
+    "std::function in hot-path layer {0}: every capture over two words heap-"
+    "allocates; use sim::InlineFunction (sim/inline_function.h) or justify "
+    "via the allowlist")
+
+
+def hot_layer_of(rel):
+    """Returns the hot layer name for a repo-relative path, else None."""
+    parts = rel.replace("\\", "/").split("/")
+    if len(parts) > 1 and parts[0] == "src" and parts[1] in HOT_LAYERS:
+        return parts[1]
+    # Fixture trees / out-of-tree scans: accept `<layer>/file.h` directly
+    # (same convention as ARCH001's layer_of).
+    if len(parts) > 1 and parts[0] in HOT_LAYERS:
+        return parts[0]
+    return None
+
+
+def check_perf001(src):
+    layer = hot_layer_of(src.rel)
+    if layer is None:
+        return []
+    violations = []
+    for lineno, line in enumerate(src.lines, start=1):
+        if STD_FUNCTION.search(line):
+            violations.append(Violation(
+                src.rel, lineno, "PERF001",
+                PERF001_MESSAGE.format(f"src/{layer}"),
+                src.raw_line(lineno)))
+    return violations
