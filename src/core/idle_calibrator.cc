@@ -1,5 +1,7 @@
 #include "core/idle_calibrator.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -35,7 +37,43 @@ std::optional<QdttModel> IdleCalibrator::FinishedModel() const {
 void IdleCalibrator::Start() {
   PIOQO_CHECK(!started_) << "IdleCalibrator started twice";
   started_ = true;
+  loop_running_ = true;
   Loop().Detach();
+}
+
+Status IdleCalibrator::StartPartial(const std::vector<uint64_t>& band_pages) {
+  if (band_pages.empty()) {
+    return Status::InvalidArgument("StartPartial: no bands given");
+  }
+  if (loop_running_) {
+    return Status::FailedPrecondition(
+        "StartPartial: a calibration run is already in flight");
+  }
+  const auto& grid = calibrator_.options().band_grid;
+  std::vector<size_t> band_idxs;
+  band_idxs.reserve(band_pages.size());
+  for (uint64_t band : band_pages) {
+    const auto it = std::find(grid.begin(), grid.end(), band);
+    if (it == grid.end()) {
+      return Status::InvalidArgument("StartPartial: band is not a grid band");
+    }
+    band_idxs.push_back(static_cast<size_t>(it - grid.begin()));
+  }
+  // Queue depths ascending within each band, bands in the caller's priority
+  // order — the most drifted band's full row refreshes first.
+  pending_.clear();
+  for (size_t b : band_idxs) {
+    for (size_t qi = 0; qi < model_.num_qds(); ++qi) {
+      pending_.push_back(GridPoint{b, qi});
+    }
+  }
+  next_point_ = 0;
+  partial_run_ = true;
+  stop_requested_ = false;
+  started_ = true;
+  loop_running_ = true;
+  Loop().Detach();
+  return Status::OK();
 }
 
 bool IdleCalibrator::DeviceIdle() const {
@@ -72,25 +110,49 @@ void IdleCalibrator::ApplyEarlyStopDefaults() {
 sim::Task IdleCalibrator::Loop() {
   const auto& opts = calibrator_.options();
   const size_t largest_band = model_.num_bands() - 1;
+  // When the device has been continuously busy since `busy_since`, a probe
+  // gate lets the loop measure under load instead of starving.
+  double busy_since = sim_.Now();
   while (!stop_requested_ && next_point_ < pending_.size()) {
+    bool busy_probe = false;
     if (!DeviceIdle()) {
-      co_await sim::Delay(sim_, options_.poll_interval_us);
-      continue;
+      const GridPoint next = pending_[next_point_];
+      const int next_qd = opts.qd_grid[next.qd_idx];
+      if (options_.probe_gate != nullptr &&
+          sim_.Now() - busy_since >= options_.busy_escalation_us &&
+          options_.probe_gate->TryAcquire(next_qd)) {
+        busy_probe = true;
+      } else {
+        co_await sim::Delay(sim_, options_.poll_interval_us);
+        continue;
+      }
+    } else {
+      busy_since = sim_.Now();
     }
     const GridPoint point = pending_[next_point_++];
+    const int point_qd = opts.qd_grid[point.qd_idx];
     double cost = 0.0;
     sim::Latch done(sim_, 1);
-    calibrator_.MeasurePointAsync(opts.band_grid[point.band_idx],
-                                  opts.qd_grid[point.qd_idx], opts.method,
-                                  seed_, &cost, done).Detach();
+    calibrator_.MeasurePointAsync(opts.band_grid[point.band_idx], point_qd,
+                                  opts.method, seed_, &cost, done).Detach();
     seed_ += 104729;
     co_await done.Wait();
+    if (busy_probe) {
+      options_.probe_gate->Release(point_qd);
+      ++points_measured_busy_;
+      // A busy probe shares the device with foreground traffic, so its
+      // sample is noisy-high; it still beats planning on a drifted grid.
+    }
     model_.SetPoint(point.band_idx, point.qd_idx, cost);
     ++points_measured_;
+    if (on_point_) {
+      on_point_(opts.band_grid[point.band_idx], point_qd, cost);
+    }
 
     // Early-stop check mirrors the offline calibrator: compare the largest
-    // band across consecutive queue depths.
-    if (opts.early_stop && point.qd_idx > 0 &&
+    // band across consecutive queue depths. Partial refreshes measure
+    // exactly what was asked for.
+    if (!partial_run_ && opts.early_stop && point.qd_idx > 0 &&
         point.band_idx == largest_band) {
       const double prev = model_.PointAt(largest_band, point.qd_idx - 1);
       if (cost > prev * (1.0 - opts.early_stop_threshold)) {
@@ -98,9 +160,13 @@ sim::Task IdleCalibrator::Loop() {
         break;
       }
     }
-    // Yield between points so foreground I/O can resume promptly.
-    co_await sim::Delay(sim_, options_.poll_interval_us);
+    // Yield between points so foreground I/O can resume promptly. Busy
+    // probes pace themselves with the (longer) busy interval.
+    co_await sim::Delay(sim_, busy_probe ? options_.busy_probe_interval_us
+                                         : options_.poll_interval_us);
   }
+  loop_running_ = false;
+  if (on_complete_) on_complete_();
 }
 
 }  // namespace pioqo::core

@@ -1,0 +1,29 @@
+#ifndef PIOQO_CORE_PROBE_GATE_H_
+#define PIOQO_CORE_PROBE_GATE_H_
+
+namespace pioqo::core {
+
+/// Permission interface for background probe I/O on a busy device.
+///
+/// The IdleCalibrator's drift-triggered refresh must keep working when the
+/// device never goes idle, but whoever owns workload admission (the db
+/// layer's AdmissionController) decides how much background load is
+/// tolerable. This interface inverts that dependency: core asks, db grants —
+/// keeping the layering DAG (core cannot include db) intact.
+///
+/// `queue_depth` is the number of outstanding I/Os the probe will put on the
+/// device while it runs. A successful TryAcquire must be balanced by exactly
+/// one Release with the same value once the probe's I/O has drained.
+class ProbeGate {
+ public:
+  virtual ~ProbeGate() = default;
+
+  /// Non-blocking: true grants the probe, false means "not now" (the caller
+  /// should back off and retry later).
+  virtual bool TryAcquire(int queue_depth) = 0;
+  virtual void Release(int queue_depth) = 0;
+};
+
+}  // namespace pioqo::core
+
+#endif  // PIOQO_CORE_PROBE_GATE_H_

@@ -56,6 +56,24 @@ void AdmissionController::Release(const AdmissionGrant& grant) {
   Pump();
 }
 
+bool AdmissionController::TryChargeBackground(int queue_depth) {
+  PIOQO_CHECK(queue_depth >= 1);
+  if (background_dop_ != 0) {
+    ++stats_.background_denials;
+    return false;
+  }
+  background_dop_ = queue_depth;
+  ++stats_.background_grants;
+  return true;
+}
+
+void AdmissionController::ReleaseBackground(int queue_depth) {
+  PIOQO_CHECK(background_dop_ == queue_depth)
+      << "ReleaseBackground(" << queue_depth << ") does not match the "
+      << "outstanding background charge of " << background_dop_;
+  background_dop_ = 0;
+}
+
 void AdmissionController::Pump() {
   while (!queue_.empty() && CanAdmit()) {
     AdmitAwaiter* head = queue_.front();

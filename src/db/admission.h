@@ -59,6 +59,8 @@ struct AdmissionStats {
   uint64_t shed_cancelled = 0;     // cancelled at arrival or in queue
   uint64_t degraded_clamps = 0;    // grants reduced by the health monitor
   uint64_t partial_grants = 0;     // grants reduced by the DOP budget
+  uint64_t background_grants = 0;  // TryChargeBackground successes
+  uint64_t background_denials = 0; // TryChargeBackground refusals
   int peak_running = 0;
   int peak_total_dop = 0;
   size_t peak_queued = 0;
@@ -129,8 +131,20 @@ class AdmissionController {
   /// once per successful grant, after the query reached a terminal state.
   void Release(const AdmissionGrant& grant);
 
+  /// Background-job admission (drift-triggered recalibration probes). At
+  /// most ONE background charge may be outstanding at a time, and it is
+  /// charged to its own ledger — an overdraft on top of `max_total_dop`, so
+  /// it never shrinks the foreground DOP budget and can never starve or
+  /// queue behind foreground queries. Rate is bounded by the caller's probe
+  /// pacing plus this one-at-a-time rule. Balance each success with exactly
+  /// one ReleaseBackground of the same depth.
+  bool TryChargeBackground(int queue_depth);
+  void ReleaseBackground(int queue_depth);
+
   int running() const { return running_; }
   int total_dop() const { return total_dop_; }
+  /// Queue depth of the outstanding background charge (0 = none).
+  int background_dop() const { return background_dop_; }
   size_t queued() const { return queue_.size(); }
   const AdmissionStats& stats() const { return stats_; }
   const AdmissionOptions& options() const { return options_; }
@@ -149,6 +163,7 @@ class AdmissionController {
   AdmissionStats stats_;
   int running_ = 0;
   int total_dop_ = 0;
+  int background_dop_ = 0;
   std::deque<AdmitAwaiter*> queue_;
 };
 

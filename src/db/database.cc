@@ -24,17 +24,36 @@ Database::Database(DatabaseOptions options)
       cpu_(sim_, options.constants.logical_cores,
            options.constants.physical_cores, options.constants.smt_penalty) {}
 
+double Database::ModelReadLatencyBaseline() const {
+  // Baseline from the calibrated model: one random page read across the
+  // whole device at queue depth 1 — the DTT view, which *is* the expected
+  // single-request completion latency (a deeper depth amortizes overlap
+  // into the per-page cost and would understate it).
+  const double band = static_cast<double>(disk_.device().capacity_bytes() /
+                                          storage::kPageSize);
+  return qdtt_->Lookup(band, 1.0);
+}
+
 void Database::EnableHealthMonitor(io::DeviceHealthMonitor::Options options) {
-  if (options.expected_read_latency_us <= 0.0 && qdtt_.has_value()) {
-    // Baseline from the calibrated model: the amortized cost of one random
-    // page read across the whole device at a moderate queue depth, scaled
-    // back up to a per-request completion latency.
-    const double band = static_cast<double>(disk_.device().capacity_bytes() /
-                                            storage::kPageSize);
-    const double qd = 8.0;
-    options.expected_read_latency_us = qdtt_->Lookup(band, qd) * qd;
+  health_baseline_pending_ = false;
+  if (options.expected_read_latency_us <= 0.0) {
+    if (qdtt_.has_value()) {
+      options.expected_read_latency_us = ModelReadLatencyBaseline();
+    } else {
+      // Not calibrated yet: start with the monitor's own default and let
+      // the next Calibrate()/InstallModel() backfill the derived baseline.
+      health_baseline_pending_ = true;
+    }
   }
   health_ = std::make_unique<io::DeviceHealthMonitor>(disk_.device(), options);
+}
+
+void Database::BackfillHealthBaseline() {
+  if (!health_baseline_pending_ || health_ == nullptr || !qdtt_.has_value()) {
+    return;
+  }
+  health_->set_expected_read_latency_us(ModelReadLatencyBaseline());
+  health_baseline_pending_ = false;
 }
 
 Status Database::CreateTable(const storage::DatasetConfig& config) {
@@ -90,12 +109,14 @@ core::CalibrationResult Database::Calibrate() {
   core::Calibrator calibrator(sim_, *device_, options_.calibration);
   core::CalibrationResult result = calibrator.Calibrate();
   qdtt_ = result.model;
+  BackfillHealthBaseline();
   return result;
 }
 
 void Database::InstallModel(core::QdttModel model) {
   PIOQO_CHECK(model.complete());
   qdtt_ = std::move(model);
+  BackfillHealthBaseline();
 }
 
 const core::QdttModel& Database::qdtt() const {
@@ -243,6 +264,43 @@ void Database::EnableAdmissionControl(AdmissionOptions options) {
   admission_ = std::make_unique<AdmissionController>(sim_, options);
 }
 
+void Database::EnableDriftDefense(DriftDefenseOptions options) {
+  PIOQO_CHECK(qdtt_.has_value())
+      << "EnableDriftDefense requires a calibrated model";
+  // The recalibrator probes the raw device, like Calibrate() does: it must
+  // measure the medium (including degradation regimes, which live in the
+  // device models), not the injected transient-fault schedule.
+  drift_defense_ = std::make_unique<DriftDefense>(
+      sim_, *device_, *qdtt_, admission_.get(), options);
+}
+
+StatusOr<Database::PlannedQuery> Database::PlanWorkloadQuery(
+    const QueryRequest& request) {
+  if (!calibrated()) {
+    return Status::FailedPrecondition("calibrate the database first");
+  }
+  PIOQO_ASSIGN_OR_RETURN(const storage::Dataset* ds,
+                         GetTable(request.scan.table));
+  PlannedQuery planned;
+  PIOQO_ASSIGN_OR_RETURN(
+      planned.selectivity,
+      EstimatedSelectivityOf(request.scan.table, request.scan.pred));
+  planned.profile = ProfileFor(*ds);
+
+  const double confidence =
+      drift_defense_ != nullptr ? drift_defense_->confidence() : 1.0;
+  opt::Optimizer optimizer(*qdtt_, options_.constants, request.optimizer);
+  planned.optimization = optimizer.ChooseAccessPath(
+      planned.profile, planned.selectivity, confidence);
+
+  ConcurrentScanSpec chosen = request.scan;
+  chosen.method = planned.optimization.chosen.method;
+  chosen.dop = planned.optimization.chosen.dop;
+  chosen.prefetch_depth = planned.optimization.chosen.prefetch_depth;
+  PIOQO_ASSIGN_OR_RETURN(planned.spec, ResolveScanSpec(chosen));
+  return planned;
+}
+
 namespace {
 
 Database::QueryTerminal ClassifyTerminal(const Status& st, bool admitted) {
@@ -287,25 +345,68 @@ sim::Task QueryLifecycle(Database& db, AdmissionController& ctrl,
         });
   }
 
-  AdmissionGrant grant = co_await ctrl.Admit(query, base_spec.dop);
-  out.admit_wait_us = grant.wait_us;
-  const bool admitted = grant.ok();
-  Status final_status = grant.status;
-  if (admitted) {
-    out.granted_dop = grant.dop;
-    exec::ExecContext ctx{sim,
-                          db.cpu(),
-                          db.pool(),
-                          db.options().constants,
-                          db.health_monitor(),
-                          &query};
-    exec::ScanSpec spec = base_spec;
-    spec.dop = grant.dop;
-    auto scan = exec::StartScan(ctx, spec);
-    co_await scan->done().Wait();
-    final_status = scan->aggregate().status;
-    out.rows_matched = scan->aggregate().rows_matched;
-    ctrl.Release(grant);
+  // Arrival-time planning: a use_optimizer query picks its plan *now*, so
+  // it sees the model and drift-defense confidence as of its arrival — the
+  // mechanism that lets queries behind a device regime change fall back to
+  // conservative plans while recalibration is still running.
+  exec::ScanSpec spec = base_spec;
+  std::optional<Database::PlannedQuery> planned;
+  bool planned_ok = true;
+  Status plan_status;
+  if (req.use_optimizer) {
+    StatusOr<Database::PlannedQuery> plan_or = db.PlanWorkloadQuery(req);
+    if (plan_or.ok()) {
+      planned = std::move(plan_or).value();
+      spec = planned->spec;
+      out.planned_method = planned->optimization.chosen.method;
+      out.planned_dop = planned->optimization.chosen.dop;
+      out.plan_dop_clamped = planned->optimization.dop_clamped;
+      out.plan_dtt_fallback = planned->optimization.dtt_fallback;
+      out.plan_confidence = planned->optimization.model_confidence;
+    } else {
+      planned_ok = false;
+      plan_status = plan_or.status();
+    }
+  }
+
+  bool admitted = false;
+  Status final_status;
+  double exec_us = 0.0;
+  if (!planned_ok) {
+    final_status = std::move(plan_status);
+  } else {
+    AdmissionGrant grant = co_await ctrl.Admit(query, spec.dop);
+    out.admit_wait_us = grant.wait_us;
+    admitted = grant.ok();
+    final_status = grant.status;
+    if (admitted) {
+      out.granted_dop = grant.dop;
+      exec::ExecContext ctx{sim,
+                            db.cpu(),
+                            db.pool(),
+                            db.options().constants,
+                            db.health_monitor(),
+                            &query};
+      spec.dop = grant.dop;
+      if (planned.has_value()) {
+        // Prediction at the *granted* degree: what the live model promises
+        // for the plan as it will actually run.
+        query.set_io_prediction(DriftDefense::PredictPlanIo(
+            out.planned_method, grant.dop, spec.prefetch_depth,
+            planned->profile, planned->selectivity, db.qdtt(),
+            db.options().constants, req.optimizer.concurrent_streams));
+      }
+      const double exec_start = sim.Now();
+      auto scan = exec::StartScan(ctx, spec);
+      co_await scan->done().Wait();
+      exec_us = sim.Now() - exec_start;
+      final_status = scan->aggregate().status;
+      out.rows_matched = scan->aggregate().rows_matched;
+      ctrl.Release(grant);
+    }
+  }
+  if (db.drift_defense() != nullptr && final_status.ok() && exec_us > 0.0) {
+    db.drift_defense()->ObserveQuery(query, exec_us);
   }
   if (cancel_armed) sim.Cancel(cancel_token);
   out.status = std::move(final_status);

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "core/calibrator.h"
 #include "db/admission.h"
+#include "db/drift_defense.h"
 #include "core/cost_constants.h"
 #include "core/cost_model.h"
 #include "core/histogram.h"
@@ -123,6 +124,15 @@ class Database {
   /// One query of an open-loop workload replayed by RunWorkload.
   struct QueryRequest {
     ConcurrentScanSpec scan;
+    /// Plan with the optimizer at *arrival time* instead of forcing
+    /// `scan`'s method/dop/prefetch (only `scan.table` and `scan.pred` are
+    /// used then). Planning consults the live model and, when drift defense
+    /// is enabled, the current model confidence — so queries arriving after
+    /// a device regime change are planned by the defended optimizer.
+    bool use_optimizer = false;
+    /// Planner knobs for `use_optimizer` (enumerated degrees, fallback
+    /// thresholds, ...). `queue_depth_aware` is taken as-is.
+    opt::OptimizerOptions optimizer;
     /// Absolute simulated arrival time.
     double arrival_us = 0.0;
     /// Deadline relative to arrival; 0 disables it.
@@ -147,6 +157,13 @@ class Database {
     double latency_us = 0.0;  // arrival → terminal state
     int granted_dop = 0;      // 0 when never admitted
     uint64_t rows_matched = 0;
+    /// Plan the optimizer chose (use_optimizer queries only).
+    core::AccessMethod planned_method = core::AccessMethod::kFts;
+    int planned_dop = 0;  // 0 when the request forced its plan
+    /// Fallbacks that fired at plan time (use_optimizer queries only).
+    bool plan_dop_clamped = false;
+    bool plan_dtt_fallback = false;
+    double plan_confidence = 1.0;
   };
 
   struct WorkloadReport {
@@ -166,6 +183,30 @@ class Database {
   StatusOr<WorkloadReport> RunWorkload(const std::vector<QueryRequest>& requests,
                                        bool flush_pool);
 
+  // --- Drift defense (DESIGN.md §12) --------------------------------------
+
+  /// Installs the cost-model drift defense. Requires a calibrated model
+  /// (the live model's grids parameterize the detector and recalibrator);
+  /// enable admission control first if busy-probe escalation should work on
+  /// a never-idle device. Workload queries with `use_optimizer` then plan
+  /// under the defense's confidence, feed their predicted-vs-observed
+  /// runtime back, and trigger guarded recalibration on drift.
+  void EnableDriftDefense(DriftDefenseOptions options = {});
+  void DisableDriftDefense() { drift_defense_.reset(); }
+  DriftDefense* drift_defense() { return drift_defense_.get(); }
+
+  /// Arrival-time planning for a `use_optimizer` workload query: estimates
+  /// selectivity, plans under the current drift-defense confidence (1.0
+  /// when the defense is off), and resolves the winning plan. Exposed for
+  /// the query lifecycle and for tests.
+  struct PlannedQuery {
+    exec::ScanSpec spec;
+    opt::OptimizationResult optimization;
+    core::TableProfile profile;
+    double selectivity = 0.0;
+  };
+  StatusOr<PlannedQuery> PlanWorkloadQuery(const QueryRequest& request);
+
   /// Optimizer-facing statistics for a table.
   core::TableProfile ProfileFor(const storage::Dataset& dataset) const;
 
@@ -184,11 +225,16 @@ class Database {
 
   /// Installs a health monitor on the (outermost) device; subsequent scans
   /// clamp their DOP while the device looks degraded. When `options` has no
-  /// explicit baseline and the database is calibrated, the expected read
-  /// latency is derived from the QDTT model (whole-device band, moderate
-  /// queue depth).
+  /// explicit baseline, the expected read latency is derived from the
+  /// calibrated QDTT model (whole-device band at queue depth 1 — the DTT
+  /// view, i.e. the true single-request completion latency). A monitor
+  /// enabled *before* calibration gets its baseline backfilled by the next
+  /// Calibrate()/InstallModel().
   void EnableHealthMonitor(io::DeviceHealthMonitor::Options options = {});
-  void DisableHealthMonitor() { health_.reset(); }
+  void DisableHealthMonitor() {
+    health_.reset();
+    health_baseline_pending_ = false;
+  }
   io::DeviceHealthMonitor* health_monitor() { return health_.get(); }
 
   sim::Simulator& simulator() { return sim_; }
@@ -207,6 +253,12 @@ class Database {
   /// Resolves a workload spec against the catalog (table/index pointers,
   /// DOP validation) into an executable exec::ScanSpec.
   StatusOr<exec::ScanSpec> ResolveScanSpec(const ConcurrentScanSpec& spec) const;
+  /// Expected single-request read latency from the calibrated model
+  /// (whole-device band, queue depth 1). Requires calibrated().
+  double ModelReadLatencyBaseline() const;
+  /// Derives the health monitor's baseline once a model becomes available,
+  /// if EnableHealthMonitor ran uncalibrated without an explicit one.
+  void BackfillHealthBaseline();
 
   DatabaseOptions options_;
   sim::Simulator sim_;
@@ -217,7 +269,11 @@ class Database {
   storage::BufferPool pool_;
   sim::CpuScheduler cpu_;
   std::unique_ptr<io::DeviceHealthMonitor> health_;
+  /// The health monitor was enabled uncalibrated with no explicit baseline;
+  /// the next model install should backfill its expected read latency.
+  bool health_baseline_pending_ = false;
   std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<DriftDefense> drift_defense_;
   std::map<std::string, storage::Dataset> tables_;
   std::map<std::string, core::EquiWidthHistogram> histograms_;
   std::optional<core::QdttModel> qdtt_;

@@ -1,0 +1,130 @@
+#ifndef PIOQO_DB_DRIFT_DEFENSE_H_
+#define PIOQO_DB_DRIFT_DEFENSE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cost_constants.h"
+#include "core/cost_model.h"
+#include "core/drift_detector.h"
+#include "core/idle_calibrator.h"
+#include "core/probe_gate.h"
+#include "core/qdtt_model.h"
+#include "db/admission.h"
+#include "io/device.h"
+#include "io/query_context.h"
+#include "sim/simulator.h"
+
+namespace pioqo::db {
+
+/// core::ProbeGate implementation over the admission controller's
+/// one-at-a-time background ledger: a drift-triggered calibration probe asks
+/// here before touching a busy device, so the db layer keeps authority over
+/// how much background load runs (and the core layer never depends on db).
+class AdmissionProbeGate : public core::ProbeGate {
+ public:
+  explicit AdmissionProbeGate(AdmissionController& ctrl) : ctrl_(ctrl) {}
+
+  bool TryAcquire(int queue_depth) override {
+    return ctrl_.TryChargeBackground(queue_depth);
+  }
+  void Release(int queue_depth) override {
+    ctrl_.ReleaseBackground(queue_depth);
+  }
+
+ private:
+  AdmissionController& ctrl_;
+};
+
+struct DriftDefenseOptions {
+  core::DriftDetectorOptions detector;
+  /// Options for the guarded recalibrator. `calibration.band_grid`/`qd_grid`
+  /// MUST match the live model's grids (Database::EnableDriftDefense fills
+  /// them in); `probe_gate` is wired internally.
+  core::IdleCalibratorOptions calibrator;
+  /// Trigger a partial recalibration when model confidence drops below this.
+  /// The default (1.0) reacts to any detected drift; lower it to tolerate
+  /// mild drift with conservative planning alone.
+  double recalibrate_confidence = 1.0;
+};
+
+/// The cost-model drift defense: closes the loop from mis-estimation
+/// detection to guarded online recalibration.
+///
+///   observe (predicted vs. actual runtime, per completed query)
+///     -> DriftDetector degrades model confidence
+///       -> the optimizer, planning with that confidence, clamps DOP /
+///          falls back to DTT costing (see opt::OptimizerOptions)
+///       -> below `recalibrate_confidence`, the drifted bands are handed to
+///          the IdleCalibrator as a bounded-rate background job (idle-cycle
+///          measurement, escalating to admission-gated probes on a
+///          never-idle device)
+///         -> each refreshed point is merged into the live model;
+///            completion clears the refreshed bands' error history, so
+///            confidence recovers as the new predictions hold up.
+///
+/// Everything is driven by query completions and the calibrator's own
+/// simulated task — no timers of its own, no randomness beyond the
+/// calibrator's seeded probes — so a workload that never drifts leaves the
+/// trace hash untouched.
+class DriftDefense {
+ public:
+  struct Stats {
+    uint64_t observations = 0;        // samples fed to the detector
+    uint64_t recalibrations_triggered = 0;
+    uint64_t recalibrations_completed = 0;
+    uint64_t points_merged = 0;       // grid points refreshed in the model
+    uint64_t bands_refreshed = 0;
+  };
+
+  /// `live_model` is the model the optimizer plans from; refreshed points
+  /// are merged into it in place. `admission` may be null (no busy-probe
+  /// escalation: recalibration then only runs in idle cycles).
+  DriftDefense(sim::Simulator& sim, io::Device& device,
+               core::QdttModel& live_model, AdmissionController* admission,
+               DriftDefenseOptions options);
+
+  /// Computes the drift-relevant prediction for a plan about to execute
+  /// (`dop` is the *granted* degree): the grid cell it operates in and the
+  /// QDTT-costed runtime the live model currently promises for it. Pure.
+  static io::QueryContext::IoPrediction PredictPlanIo(
+      core::AccessMethod method, int dop, int prefetch_depth,
+      const core::TableProfile& profile, double selectivity,
+      const core::QdttModel& model, const core::CostConstants& constants,
+      int concurrent_streams);
+
+  /// Feeds one finished query: compares its prediction (stashed in the
+  /// QueryContext at plan time) against `runtime_us` (admission wait
+  /// excluded) and, when confidence has dropped far enough and no
+  /// recalibration is in flight, triggers the partial refresh. Queries
+  /// without a valid I/O-dominated prediction are ignored.
+  void ObserveQuery(const io::QueryContext& query, double runtime_us);
+
+  double confidence() const { return detector_.confidence(); }
+  const core::DriftDetector& detector() const { return detector_; }
+  core::IdleCalibrator& calibrator() { return calibrator_; }
+  const Stats& stats() const { return stats_; }
+  /// Bands handed to the in-flight recalibration (empty when none).
+  const std::vector<uint64_t>& inflight_bands() const {
+    return inflight_bands_;
+  }
+
+ private:
+  void MaybeTriggerRecalibration();
+  void OnPointRefreshed(uint64_t band_pages, int qd, double cost_us);
+  void OnRecalibrationComplete();
+
+  DriftDefenseOptions options_;
+  core::QdttModel& live_model_;
+  std::optional<AdmissionProbeGate> gate_;  // absent when admission == null
+  core::DriftDetector detector_;
+  core::IdleCalibrator calibrator_;
+  std::vector<uint64_t> inflight_bands_;
+  Stats stats_;
+};
+
+}  // namespace pioqo::db
+
+#endif  // PIOQO_DB_DRIFT_DEFENSE_H_

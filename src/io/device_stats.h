@@ -39,6 +39,12 @@ class DeviceStats {
   void RecordTimeout() { ++timeouts_; }
   void RecordDegradedClamp() { ++degraded_clamps_; }
 
+  /// Degradation-regime accounting (RAID spindle loss / SSD throttling).
+  void RecordRegimeTransition() { ++regime_transitions_; }
+  void RecordReconstructedRead() { ++reconstructed_reads_; }
+  void RecordRebuildChunk() { ++rebuild_chunks_; }
+  void RecordThrottledCommand() { ++throttled_commands_; }
+
   /// Forgets all history; the next submit starts a new interval.
   void Reset();
 
@@ -61,6 +67,18 @@ class DeviceStats {
   uint64_t degraded_clamps() const { return degraded_clamps_; }
   /// Requests reclaimed via Device::Cancel before being serviced.
   uint64_t cancelled_requests() const { return cancelled_requests_; }
+
+  /// Regime entries/exits (a spindle loss, a rebuild completion, a throttle
+  /// window opening or closing).
+  uint64_t regime_transitions() const { return regime_transitions_; }
+  /// RAID reads that mapped to the failed member and were served by
+  /// reconstruction from the surviving spindles.
+  uint64_t reconstructed_reads() const { return reconstructed_reads_; }
+  /// Background rebuild units issued (each = one read per survivor plus the
+  /// spare rewrite), competing with foreground traffic for the queues.
+  uint64_t rebuild_chunks() const { return rebuild_chunks_; }
+  /// SSD commands admitted while a throttle phase was active.
+  uint64_t throttled_commands() const { return throttled_commands_; }
 
   /// Time of first submit / last completion in the interval.
   sim::SimTime first_activity() const { return first_activity_; }
@@ -85,6 +103,10 @@ class DeviceStats {
   uint64_t timeouts_ = 0;
   uint64_t degraded_clamps_ = 0;
   uint64_t cancelled_requests_ = 0;
+  uint64_t regime_transitions_ = 0;
+  uint64_t reconstructed_reads_ = 0;
+  uint64_t rebuild_chunks_ = 0;
+  uint64_t throttled_commands_ = 0;
   int64_t outstanding_ = 0;
   bool active_ = false;
   sim::SimTime first_activity_ = 0.0;

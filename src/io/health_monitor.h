@@ -56,6 +56,15 @@ class DeviceHealthMonitor {
   uint64_t samples() const { return samples_; }
   const Options& options() const { return options_; }
 
+  /// Installs (or replaces) the degradation baseline after construction —
+  /// the backfill path for a monitor enabled before calibration, whose
+  /// expected latency becomes derivable only once a QDTT model exists. The
+  /// observed EWMA is kept: re-baselining changes the comparison, not the
+  /// history.
+  void set_expected_read_latency_us(double expected_us) {
+    options_.expected_read_latency_us = expected_us;
+  }
+
  private:
   void OnCompletion(const IoRequest& req, const IoResult& result);
 

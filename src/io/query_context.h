@@ -82,6 +82,47 @@ class QueryContext {
   int pinned_frames() const { return pinned_frames_; }
   uint64_t quota_rejections() const { return quota_rejections_; }
 
+  /// --- Drift observation (predicted vs. observed I/O cost) ---------------
+  /// The planner records what it *predicted* for this query; the buffer pool
+  /// counts what actually happened. Pure counters: recording a prediction or
+  /// a page fetch schedules no events and draws no randomness, so threading
+  /// them through a query leaves the trace hash untouched.
+
+  /// The plan-time I/O prediction. `band_pages`/`queue_depth` name the QDTT
+  /// grid cell the executed plan operates in (for drift attribution);
+  /// `predicted_us` is the model's runtime estimate for the executed plan,
+  /// compared against observed wall time at whole-query granularity (robust
+  /// to prefetching shifting pages between pool hits and misses).
+  struct IoPrediction {
+    /// Band size (pages) the plan's fetches fall in.
+    double band_pages = 0.0;
+    /// Effective queue depth the plan runs the device at.
+    double queue_depth = 0.0;
+    /// QDTT-costed runtime estimate of the executed plan.
+    double predicted_us = 0.0;
+    /// True when the plan's estimated I/O time dominated its CPU time —
+    /// only then is wall time a meaningful I/O cost observation.
+    bool io_dominated = false;
+
+    bool valid() const { return predicted_us > 0.0; }
+  };
+
+  void set_io_prediction(const IoPrediction& prediction) {
+    prediction_ = prediction;
+  }
+  const IoPrediction& io_prediction() const { return prediction_; }
+
+  /// Called by the buffer pool on every successful fetch made on this
+  /// query's behalf.
+  void OnPageFetch(bool was_hit) {
+    ++pages_fetched_;
+    if (!was_hit) ++pool_misses_;
+  }
+  uint64_t pages_fetched() const { return pages_fetched_; }
+  /// Fetches that went to the device — the denominator for the observed
+  /// per-page-read I/O cost.
+  uint64_t pool_misses() const { return pool_misses_; }
+
   void AddCancelListener(CancelListener* listener);
   void RemoveCancelListener(CancelListener* listener);
   size_t num_cancel_listeners() const { return listeners_.size(); }
@@ -98,6 +139,9 @@ class QueryContext {
   uint64_t deadline_token_ = 0;
   int pinned_frames_ = 0;
   uint64_t quota_rejections_ = 0;
+  IoPrediction prediction_;
+  uint64_t pages_fetched_ = 0;
+  uint64_t pool_misses_ = 0;
   std::vector<CancelListener*> listeners_;
 };
 

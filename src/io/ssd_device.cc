@@ -66,6 +66,14 @@ double SsdDevice::FtlAccess(uint64_t offset) {
   return geometry_.ftl_miss_us;
 }
 
+const SsdThrottlePhase* SsdDevice::ActiveThrottlePhase() const {
+  const double now = sim_.Now();
+  for (const SsdThrottlePhase& phase : throttle_schedule_) {
+    if (phase.active_at(now)) return &phase;
+  }
+  return nullptr;
+}
+
 void SsdDevice::SubmitImpl(uint64_t id, const IoRequest& req,
                            CompletionFn done) {
   Command* cmd = AllocCommand(id, req, std::move(done));
@@ -90,6 +98,15 @@ bool SsdDevice::CancelImpl(uint64_t id) {
 
 void SsdDevice::Admit(Command* cmd) {
   ++active_commands_;
+  // Wear/thermal throttling: while a phase is active the admitted command
+  // stripes over fewer effective channels (refresh traffic takes dies out
+  // of rotation); flash-time scaling is applied at unit-service start.
+  const SsdThrottlePhase* phase = ActiveThrottlePhase();
+  if (phase != nullptr) stats().RecordThrottledCommand();
+  const int n_eff =
+      phase == nullptr ? geometry_.num_units
+                       : std::max(1, geometry_.num_units /
+                                         std::max(1, phase->unit_divisor));
   const bool is_read = cmd->req.kind == IoRequest::Kind::kRead;
   const bool readahead_hit = is_read && cmd->req.offset == last_read_end_;
   if (is_read) last_read_end_ = cmd->req.offset + cmd->req.length;
@@ -115,7 +132,7 @@ void SsdDevice::Admit(Command* cmd) {
     const uint32_t bytes =
         static_cast<uint32_t>(std::min<uint64_t>(remaining, stripe_end - offset));
     const int unit = static_cast<int>((offset / geometry_.stripe_bytes) %
-                                      static_cast<uint64_t>(geometry_.num_units));
+                                      static_cast<uint64_t>(n_eff));
     ++cmd->chunks_remaining;
     unit_queues_[static_cast<size_t>(unit)].push_back(
         Chunk{cmd, bytes, first ? extra : 0.0});
@@ -131,7 +148,7 @@ void SsdDevice::Admit(Command* cmd) {
   // (wrapped low segment first) reproduces the former kick-everything
   // 0..N-1 loop's ScheduleAfter call order exactly, which keeps event
   // sequence numbers — and therefore the golden trace hashes — unchanged.
-  const int n = geometry_.num_units;
+  const int n = n_eff;
   const int chunks = cmd->chunks_remaining;
   const int start = static_cast<int>((cmd->req.offset / geometry_.stripe_bytes) %
                                      static_cast<uint64_t>(n));
@@ -152,10 +169,15 @@ void SsdDevice::UnitMaybeStart(int unit) {
   Chunk chunk = unit_queues_[u].front();
   unit_queues_[u].pop_front();
   const bool is_read = chunk.command->req.kind == IoRequest::Kind::kRead;
-  const double flash_us =
+  double flash_us =
       (is_read ? geometry_.unit_read_us : geometry_.unit_write_us) *
       (static_cast<double>(chunk.bytes) /
        static_cast<double>(geometry_.stripe_bytes));
+  // Thermal throttling lowers the NAND interface clock: scale the flash
+  // service time of chunks that *start* inside an active phase.
+  if (const SsdThrottlePhase* phase = ActiveThrottlePhase()) {
+    flash_us *= phase->latency_multiplier;
+  }
   sim_.ScheduleAfter(flash_us + chunk.extra_us, [this, unit, chunk] {
     unit_busy_[static_cast<size_t>(unit)] = false;
     // extra_us was paid at the unit; don't charge it again on the bus.

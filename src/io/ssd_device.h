@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "io/degradation.h"
 #include "io/device.h"
 
 namespace pioqo::io {
@@ -83,6 +84,20 @@ class SsdDevice : public Device {
   /// FTL map-cache hit ratio since construction (for tests/diagnostics).
   double FtlHitRatio() const;
 
+  /// Installs scripted wear/thermal-throttle windows (sorted or not; looked
+  /// up by simulated time per admitted command). While a phase is active,
+  /// flash service time is scaled by its latency multiplier and chunk
+  /// striping collapses onto num_units / unit_divisor channels. An empty
+  /// schedule (the default) changes nothing — service times, event counts
+  /// and trace hashes stay bit-identical.
+  void SetThrottleSchedule(SsdThrottleSchedule schedule) {
+    throttle_schedule_ = std::move(schedule);
+  }
+
+  /// The throttle phase covering the current simulated instant, if any.
+  const SsdThrottlePhase* ActiveThrottlePhase() const;
+  bool throttled() const { return ActiveThrottlePhase() != nullptr; }
+
  private:
   struct Command {
     uint64_t id;
@@ -122,6 +137,8 @@ class SsdDevice : public Device {
 
   std::vector<std::deque<Chunk>> unit_queues_;
   std::vector<bool> unit_busy_;
+
+  SsdThrottleSchedule throttle_schedule_;
 
   std::deque<Chunk> bus_queue_;
   bool bus_busy_ = false;

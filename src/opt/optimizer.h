@@ -29,12 +29,31 @@ struct OptimizerOptions {
   /// Number of concurrent query streams the device queue is shared with;
   /// the plan's queue depth is divided by this before the QDTT lookup.
   int concurrent_streams = 1;
+
+  /// --- Drift-defense fallback thresholds --------------------------------
+  /// Below this model confidence (see core::DriftDetector) the enumerated
+  /// parallel degrees are clamped toward conservative plans: max allowed
+  /// DOP scales down with confidence, so a mildly distrusted grid still
+  /// parallelizes but stops betting on the deepest queue depths, whose
+  /// costs extrapolate worst under drift.
+  double conservative_confidence_threshold = 0.75;
+  /// Below this confidence the QDTT grid is not trusted at any depth:
+  /// plans are costed queue-depth-blind (legacy DTT behaviour, the paper's
+  /// Sec. 2 baseline), which prices deep-queue parallel plans at their
+  /// qd=1 cost and so never *over*-promises on a degraded device.
+  double dtt_fallback_confidence = 0.35;
 };
 
 /// The winning plan plus every alternative that was costed.
 struct OptimizationResult {
   core::PlanCandidate chosen;
   std::vector<core::PlanCandidate> considered;
+  /// Confidence the plan was chosen under (1.0 = full trust).
+  double model_confidence = 1.0;
+  /// The enumerated DOP set was clamped by low confidence.
+  bool dop_clamped = false;
+  /// Costing fell back to the queue-depth-blind DTT model.
+  bool dtt_fallback = false;
 
   /// EXPLAIN-style dump: all candidates sorted by estimated cost.
   std::string Explain() const;
@@ -49,13 +68,27 @@ class Optimizer {
             OptimizerOptions options);
 
   OptimizationResult ChooseAccessPath(const core::TableProfile& profile,
-                                      double selectivity) const;
+                                      double selectivity) const {
+    return ChooseAccessPath(profile, selectivity, /*model_confidence=*/1.0);
+  }
+
+  /// Plans under a drift-detector confidence score: full trust plans as
+  /// usual; below `conservative_confidence_threshold` the DOP set is
+  /// clamped (max allowed degree scales with confidence, degree 1 always
+  /// survives); below `dtt_fallback_confidence` candidates are additionally
+  /// costed with the queue-depth-blind DTT model. The result records which
+  /// fallbacks fired.
+  OptimizationResult ChooseAccessPath(const core::TableProfile& profile,
+                                      double selectivity,
+                                      double model_confidence) const;
 
   const OptimizerOptions& options() const { return options_; }
   const core::CostModel& cost_model() const { return cost_model_; }
 
  private:
   core::CostModel cost_model_;
+  /// Queue-depth-blind twin used below the DTT fallback threshold.
+  core::CostModel dtt_cost_model_;
   OptimizerOptions options_;
 };
 

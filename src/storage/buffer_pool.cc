@@ -150,6 +150,9 @@ BufferPool::PageRef BufferPool::FetchAwaiter::await_resume() {
   // Hit path pinned in await_ready; miss path pinned in await_suspend. The
   // quota pin (counted_pin_) stays charged until Unpin(pid, query).
   PIOQO_CHECK(f.pin_count > 0);
+  // Feed the query's drift observation: every successful fetch is one page,
+  // misses are the ones that cost device time.
+  if (query_ != nullptr) query_->OnPageFetch(was_hit_);
   return PageRef{f.data, was_hit_, Status::OK()};
 }
 
@@ -428,6 +431,41 @@ void BufferPool::OnDeadline(uint64_t read_id, int attempt) {
                                 std::to_string(r.count) + ")"));
 }
 
+bool BufferPool::RetryWorthwhile(const InflightRead& r, double backoff) const {
+  // A retry is worthwhile only if some consumer of the read could still use
+  // the page: a retry that cannot be *re-issued* before every interested
+  // query's deadline has passed (or whose queries are all dead already)
+  // just burns device time during what is probably a degraded phase.
+  const double earliest_reissue = disk_.device().simulator().Now() + backoff;
+  bool any_consumer = false;
+  bool any_benefit = false;
+  auto consider = [&](io::QueryContext* q) {
+    any_consumer = true;
+    if (q == nullptr) {
+      any_benefit = true;  // unattributed fetch: assume it still wants the page
+      return;
+    }
+    if (q->cancelled()) return;
+    if (!q->has_deadline() || q->deadline_us() < 0.0 ||
+        earliest_reissue < q->deadline_us()) {
+      any_benefit = true;
+    }
+  };
+  for (uint32_t i = 0; i < r.count; ++i) {
+    auto fit = frames_.find(r.first + i);
+    if (fit == frames_.end()) continue;
+    for (FetchAwaiter* w : fit->second.waiters) consider(w->query_);
+  }
+  if (!any_consumer) {
+    // No suspended waiters: prefetches stay best-effort (land unpinned), a
+    // fetch read falls back to its originating query's viability.
+    if (r.prefetch) return true;
+    consider(r.originator);
+    if (!any_consumer) return true;
+  }
+  return any_benefit;
+}
+
 void BufferPool::HandleFailure(uint64_t read_id, const Status& status) {
   auto it = inflight_.find(read_id);
   PIOQO_CHECK(it != inflight_.end());
@@ -436,9 +474,14 @@ void BufferPool::HandleFailure(uint64_t read_id, const Status& status) {
   // identically on every attempt.
   const bool retryable = status.code() == StatusCode::kIoError;
   if (retryable && r.attempt < options_.retry.max_attempts) {
+    const double backoff = options_.retry.BackoffUs(r.attempt, retry_rng_);
+    if (!RetryWorthwhile(r, backoff)) {
+      ++stats_.abandoned_retries;
+      FailRead(read_id, status);
+      return;
+    }
     ++stats_.retries;
     disk_.device().stats().RecordRetry();
-    const double backoff = options_.retry.BackoffUs(r.attempt, retry_rng_);
     ++r.attempt;
     disk_.device().simulator().ScheduleAfter(
         backoff, [this, read_id] { IssueAttempt(read_id); });

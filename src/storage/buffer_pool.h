@@ -31,6 +31,8 @@ struct BufferPoolStats {
   uint64_t pages_read = 0;        // pages brought in from the device
   uint64_t retries = 0;           // device reads re-issued after failure
   uint64_t timeouts = 0;          // attempts abandoned by the deadline
+  uint64_t abandoned_retries = 0; // retries skipped: no live consumer could
+                                  // meet its deadline by the re-issue time
   uint64_t failed_loads = 0;      // reads that exhausted every attempt
   uint64_t fetch_errors = 0;      // fetches resolved with a non-OK status
   uint64_t cancelled_fetches = 0; // fetch waiters failed by query cancellation
@@ -222,6 +224,9 @@ class BufferPool {
   void IssueAttempt(uint64_t read_id);
   void OnReadComplete(uint64_t read_id, int attempt, const Status& status);
   void OnDeadline(uint64_t read_id, int attempt);
+  /// False when no live consumer of the read could meet its deadline even
+  /// if the retry (re-issued after `backoff`) succeeded instantly.
+  bool RetryWorthwhile(const InflightRead& r, double backoff) const;
   /// Retries (after backoff) or, when attempts are exhausted, fails the
   /// read: drops its loading frames and resumes all waiters with `status`.
   void HandleFailure(uint64_t read_id, const Status& status);

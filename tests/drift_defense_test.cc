@@ -1,0 +1,193 @@
+// End-to-end drift-defense soak (DESIGN.md §12): an optimizer-planned
+// open-loop workload on an SSD that thermally throttles mid-run.
+//
+//   1. Completed queries feed predicted-vs-observed runtime into the
+//      DriftDetector; the regime change degrades model confidence.
+//   2. Queries planned after detection fall back (DOP clamp / DTT costing).
+//   3. The guarded recalibration refreshes the drifted bands and merges the
+//      new points into the live model, and confidence recovers once the
+//      refreshed predictions hold.
+//   4. A/B: with the defense off the same workload never reacts.
+//   5. The same seed replays bit-identically, defense on or off.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "db/database.h"
+#include "io/ssd_device.h"
+#include "sim/sim_checks.h"
+
+namespace pioqo {
+namespace {
+
+using db::Database;
+using db::DatabaseOptions;
+using db::DriftDefense;
+using db::DriftDefenseOptions;
+
+storage::DatasetConfig TableConfig() {
+  storage::DatasetConfig config;
+  config.name = "T";
+  // 4096 data pages against a 512-frame pool: scans stay I/O bound.
+  config.num_rows = 33 * 4096;
+  return config;
+}
+
+std::unique_ptr<Database> MakeDb() {
+  DatabaseOptions options;
+  options.device = io::DeviceKind::kSsdConsumer;
+  options.pool_pages = 512;
+  // A lighter calibration keeps the soak fast; the grid is unchanged.
+  options.calibration.max_pages_per_point = 512;
+  auto db = std::make_unique<Database>(std::move(options));
+  PIOQO_CHECK(db->CreateTable(TableConfig()).ok());
+  db->Calibrate();
+  return db;
+}
+
+Database::QueryRequest MixQuery(size_t i) {
+  const int32_t domain = TableConfig().c2_domain;
+  static constexpr double kSelectivities[4] = {0.30, 0.01, 0.10, 0.02};
+  Database::QueryRequest req;
+  req.scan.table = "T";
+  req.scan.pred = exec::RangePredicate{
+      0, storage::C2UpperBoundForSelectivity(domain, kSelectivities[i % 4])};
+  req.use_optimizer = true;
+  req.optimizer.parallel_degrees = {1, 2, 4, 8, 16};
+  // React to mild distrust with a clamp and to strong distrust with DTT
+  // costing (0.6 is still <= the clamp threshold, as the optimizer checks).
+  req.optimizer.dtt_fallback_confidence = 0.6;
+  return req;
+}
+
+struct SoakOutcome {
+  Database::WorkloadReport report;
+  DriftDefense::Stats defense;
+  double final_confidence = 1.0;
+  /// Live-model cost of the table-sized band at qd 8, before/after the run.
+  double lookup_before = 0.0;
+  double lookup_after = 0.0;
+  uint64_t trace_hash = 0;
+};
+
+/// Calibrates, arms a permanent 6x thermal-throttle regime starting shortly
+/// after the 10th query, and replays a 60-query optimizer-planned workload.
+SoakOutcome RunDriftSoak(bool defense_on) {
+  auto db = MakeDb();
+  db->EnableAdmissionControl();
+  if (defense_on) {
+    DriftDefenseOptions options;
+    options.detector.drift_ratio = 2.0;  // headroom over concurrency noise
+    options.calibrator.calibration.max_pages_per_point = 256;
+    options.calibrator.poll_interval_us = 5'000.0;
+    options.calibrator.idle_threshold_us = 20'000.0;
+    options.calibrator.busy_escalation_us = 100'000.0;
+    options.calibrator.busy_probe_interval_us = 20'000.0;
+    db->EnableDriftDefense(options);
+  }
+
+  // One throwaway scan measures the healthy unit of work; arrivals are
+  // spaced far enough apart that even 6x-throttled queries rarely overlap.
+  auto probe = db->ExecuteScan("T", MixQuery(0).scan.pred,
+                               core::AccessMethod::kPfts, /*dop=*/8,
+                               /*prefetch_depth=*/0, /*flush_pool=*/true);
+  PIOQO_CHECK_OK(probe.status());
+  const double unit_us = probe->runtime_us;
+  const double start_us = db->simulator().Now() + 10'000.0;
+  const double spacing_us = 8.0 * unit_us;
+
+  auto* ssd = dynamic_cast<io::SsdDevice*>(&db->raw_device());
+  PIOQO_CHECK(ssd != nullptr);
+  io::SsdThrottlePhase phase;
+  phase.start_us = start_us + 10.5 * spacing_us;  // after the 10th query
+  phase.end_us = 1e15;                            // the new permanent regime
+  phase.latency_multiplier = 6.0;
+  phase.unit_divisor = 4;
+  ssd->SetThrottleSchedule({phase});
+
+  std::vector<Database::QueryRequest> requests;
+  for (size_t i = 0; i < 60; ++i) {
+    Database::QueryRequest req = MixQuery(i);
+    req.arrival_us = start_us + static_cast<double>(i) * spacing_us;
+    requests.push_back(req);
+  }
+
+  SoakOutcome out;
+  out.lookup_before = db->qdtt().Lookup(4096.0, 8.0);
+  auto report = db->RunWorkload(requests, /*flush_pool=*/true);
+  PIOQO_CHECK_OK(report.status());
+  out.report = std::move(report).value();
+  out.lookup_after = db->qdtt().Lookup(4096.0, 8.0);
+  if (db->drift_defense() != nullptr) {
+    out.defense = db->drift_defense()->stats();
+    out.final_confidence = db->drift_defense()->confidence();
+  }
+  out.trace_hash = db->simulator().trace_hash();
+  EXPECT_TRUE(db->pool().Clear().ok());
+  sim::checks::ExpectQuiescent("drift soak");
+  return out;
+}
+
+TEST(DriftDefenseSoakTest, DetectsFallsBackRecalibratesAndRecovers) {
+  const SoakOutcome on = RunDriftSoak(/*defense_on=*/true);
+  ASSERT_EQ(on.report.queries.size(), 60u);
+  EXPECT_EQ(on.report.failed, 0u);
+  EXPECT_GT(on.report.completed, 50u);
+
+  // 1. Detection: completed queries were observed and confidence dropped at
+  //    some point — visible as plan-time confidence below 1.
+  EXPECT_GT(on.defense.observations, 20u);
+  size_t distrusted = 0;
+  size_t reacted = 0;
+  for (const auto& q : on.report.queries) {
+    if (q.plan_confidence < 1.0) ++distrusted;
+    if (q.plan_dop_clamped || q.plan_dtt_fallback) ++reacted;
+  }
+  EXPECT_GT(distrusted, 0u) << "no query ever planned under reduced confidence";
+
+  // 2. Fallback: at least one distrusted query actually changed shape.
+  EXPECT_GT(reacted, 0u) << "low confidence never clamped or fell back";
+
+  // 3. Guarded recalibration ran to completion and rewrote the live model:
+  //    the table-sized band's qd-8 cost now reflects the 6x-throttled device.
+  EXPECT_GE(on.defense.recalibrations_triggered, 1u);
+  EXPECT_GE(on.defense.recalibrations_completed, 1u);
+  EXPECT_GE(on.defense.bands_refreshed, 1u);
+  EXPECT_GE(on.defense.points_merged, 6u);
+  EXPECT_GT(on.lookup_after, on.lookup_before * 1.5);
+
+  // 4. Recovery: once the refreshed predictions hold, confidence climbs
+  //    back and the tail of the workload plans at (near) full trust.
+  EXPECT_GT(on.final_confidence, 0.9);
+  EXPECT_GT(on.report.queries.back().plan_confidence, 0.9);
+}
+
+TEST(DriftDefenseSoakTest, DefenseOffNeverReactsAndTracesDiverge) {
+  const SoakOutcome off = RunDriftSoak(/*defense_on=*/false);
+  ASSERT_EQ(off.report.queries.size(), 60u);
+  // Without the defense the planner never loses trust in the stale model.
+  for (const auto& q : off.report.queries) {
+    EXPECT_EQ(q.plan_confidence, 1.0);
+    EXPECT_FALSE(q.plan_dop_clamped);
+    EXPECT_FALSE(q.plan_dtt_fallback);
+  }
+  EXPECT_EQ(off.defense.observations, 0u);
+
+  // The A/B runs genuinely diverge (the defense replans and recalibrates).
+  const SoakOutcome on = RunDriftSoak(/*defense_on=*/true);
+  EXPECT_NE(on.trace_hash, off.trace_hash);
+}
+
+TEST(DriftDefenseSoakTest, SameSeedReplayIsBitIdentical) {
+  const SoakOutcome a = RunDriftSoak(/*defense_on=*/true);
+  const SoakOutcome b = RunDriftSoak(/*defense_on=*/true);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.defense.points_merged, b.defense.points_merged);
+  EXPECT_EQ(a.report.completed, b.report.completed);
+}
+
+}  // namespace
+}  // namespace pioqo

@@ -1,10 +1,13 @@
 #include "core/idle_calibrator.h"
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "io/device_factory.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
@@ -98,6 +101,121 @@ TEST(IdleCalibratorTest, DefersToForegroundIo) {
   // validated indirectly — the calibrator only ran after bursts ended, so
   // its first point began after the last burst.
   EXPECT_GT(calibrator.points_measured(), 0);
+}
+
+/// Back-to-back random reads until `until_us`: the device never satisfies
+/// the idle threshold while this runs.
+sim::Task ContinuousLoad(sim::Simulator& sim, io::Device& device,
+                         double until_us) {
+  Pcg32 rng(123);
+  const uint64_t pages = device.capacity_bytes() / storage::kPageSize;
+  while (sim.Now() < until_us) {
+    EXPECT_TRUE((co_await device.Read(rng.UniformBelow(pages) *
+                                          storage::kPageSize,
+                                      storage::kPageSize))
+                    .ok());
+  }
+}
+
+class AlwaysGrantGate : public ProbeGate {
+ public:
+  bool TryAcquire(int queue_depth) override {
+    ++acquires_;
+    outstanding_ += queue_depth;
+    return true;
+  }
+  void Release(int queue_depth) override {
+    ++releases_;
+    outstanding_ -= queue_depth;
+  }
+  int acquires() const { return acquires_; }
+  int releases() const { return releases_; }
+  int outstanding() const { return outstanding_; }
+
+ private:
+  int acquires_ = 0;
+  int releases_ = 0;
+  int outstanding_ = 0;
+};
+
+// The starvation regression (satellite S2): a device under sustained load
+// never looks idle, so the legacy idle-only loop makes zero progress until
+// the load stops — while the probe-gated loop escalates and measures under
+// load.
+TEST(IdleCalibratorTest, NeverIdleDeviceStarvesWithoutProbeGate) {
+  sim::Simulator sim;
+  auto ssd = io::MakeDevice(sim, io::DeviceKind::kSsdConsumer);
+  IdleCalibrator calibrator(sim, *ssd, FastOptions());
+  calibrator.Start();
+  ContinuousLoad(sim, *ssd, /*until_us=*/2'000'000.0).Detach();
+  int measured_during_load = -1;
+  sim.ScheduleAt(1'900'000.0,
+                 [&] { measured_during_load = calibrator.points_measured(); });
+  sim.Run();
+  EXPECT_EQ(measured_during_load, 0) << "idle-only loop should starve";
+  EXPECT_TRUE(calibrator.complete()) << "but finish once the load stops";
+  EXPECT_EQ(calibrator.points_measured_busy(), 0);
+}
+
+TEST(IdleCalibratorTest, ProbeGateEscalationMeasuresUnderLoad) {
+  sim::Simulator sim;
+  auto ssd = io::MakeDevice(sim, io::DeviceKind::kSsdConsumer);
+  AlwaysGrantGate gate;
+  auto options = FastOptions();
+  options.probe_gate = &gate;
+  options.busy_escalation_us = 100'000.0;
+  options.busy_probe_interval_us = 20'000.0;
+  IdleCalibrator calibrator(sim, *ssd, options);
+  calibrator.Start();
+  ContinuousLoad(sim, *ssd, /*until_us=*/2'000'000.0).Detach();
+  int measured_during_load = -1;
+  sim.ScheduleAt(1'900'000.0,
+                 [&] { measured_during_load = calibrator.points_measured(); });
+  sim.Run();
+  EXPECT_GT(measured_during_load, 0) << "escalation must make progress";
+  EXPECT_GT(calibrator.points_measured_busy(), 0);
+  EXPECT_TRUE(calibrator.complete());
+  // Every granted probe was released.
+  EXPECT_EQ(gate.acquires(), calibrator.points_measured_busy());
+  EXPECT_EQ(gate.releases(), gate.acquires());
+  EXPECT_EQ(gate.outstanding(), 0);
+}
+
+TEST(IdleCalibratorTest, StartPartialRefreshesRequestedBandsOnly) {
+  sim::Simulator sim;
+  auto ssd = io::MakeDevice(sim, io::DeviceKind::kSsdConsumer);
+  IdleCalibrator calibrator(sim, *ssd, FastOptions());
+  calibrator.Start();
+  sim.Run();
+  ASSERT_TRUE(calibrator.complete());
+  const int full_grid = calibrator.points_measured();
+
+  // Invalid requests are rejected up front.
+  EXPECT_EQ(calibrator.StartPartial({}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calibrator.StartPartial({999}).code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<std::pair<uint64_t, int>> refreshed;
+  bool completed = false;
+  calibrator.set_on_point([&](uint64_t band, int qd, double cost) {
+    refreshed.emplace_back(band, qd);
+    EXPECT_GT(cost, 0.0);
+  });
+  calibrator.set_on_complete([&] { completed = true; });
+
+  ASSERT_TRUE(calibrator.StartPartial({4096}).ok());
+  EXPECT_TRUE(calibrator.loop_running());
+  // A second partial while one is in flight is refused.
+  EXPECT_EQ(calibrator.StartPartial({4096}).code(),
+            StatusCode::kFailedPrecondition);
+  sim.Run();
+
+  EXPECT_TRUE(completed);
+  EXPECT_FALSE(calibrator.loop_running());
+  ASSERT_EQ(refreshed.size(), 6u) << "one row: every qd of the given band";
+  for (const auto& [band, qd] : refreshed) EXPECT_EQ(band, 4096u);
+  EXPECT_EQ(calibrator.points_measured(), full_grid + 6);
+  EXPECT_TRUE(calibrator.complete());
 }
 
 TEST(IdleCalibratorTest, MatchesOfflineCalibrationResults) {

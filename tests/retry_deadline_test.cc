@@ -1,0 +1,191 @@
+// Satellite S3: RetryPolicy backoff interacting with QueryContext deadlines.
+// A retry whose re-issue time already lies past every interested query's
+// deadline is abandoned (BufferPoolStats::abandoned_retries) instead of
+// burning device time during what is probably a degraded phase.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "io/fault_injection.h"
+#include "io/query_context.h"
+#include "io/retry_policy.h"
+#include "io/ssd_device.h"
+#include "sim/sim_checks.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_image.h"
+#include "storage/page.h"
+
+namespace pioqo {
+namespace {
+
+using io::FaultConfig;
+using io::FaultInjectingDevice;
+using io::FaultPhase;
+using io::SsdDevice;
+using io::SsdGeometry;
+
+class RetryDeadlineTest : public ::testing::Test {
+ protected:
+  storage::BufferPool MakePool(const FaultConfig& faults,
+                               io::RetryPolicy retry) {
+    faulty_ = std::make_unique<FaultInjectingDevice>(raw_, faults);
+    disk_ = std::make_unique<storage::DiskImage>(*faulty_);
+    disk_->AllocatePages(64);
+    return storage::BufferPool(*disk_, 16,
+                               storage::BufferPoolOptions{retry, 42});
+  }
+
+  sim::Simulator sim_;
+  SsdDevice raw_{sim_, SsdGeometry::ConsumerPcie()};
+  std::unique_ptr<FaultInjectingDevice> faulty_;
+  std::unique_ptr<storage::DiskImage> disk_;
+};
+
+TEST_F(RetryDeadlineTest, AbandonsRetryNoDeadlineCouldSurvive) {
+  // Permanent errors; the first backoff (10 ms, no jitter) already re-issues
+  // past the query's 5 ms deadline, so the very first retry is abandoned.
+  FaultConfig faults;
+  faults.read_error_prob = 1.0;
+  faults.error_latency_us = 100.0;
+  io::RetryPolicy retry;
+  retry.max_attempts = 5;
+  retry.backoff_base_us = 10'000.0;
+  retry.jitter_frac = 0.0;
+  auto pool = MakePool(faults, retry);
+
+  io::QueryContext query(sim_);
+  query.SetDeadline(5'000.0);
+  Status got = Status::OK();
+  double resolved_at = -1.0;
+  auto worker = [&]() -> sim::Task {
+    auto ref = co_await pool.Fetch(7, &query);
+    got = ref.status;
+    resolved_at = sim_.Now();
+  };
+  worker().Detach();
+  sim_.Run();
+
+  EXPECT_EQ(got.code(), StatusCode::kIoError);
+  EXPECT_EQ(pool.stats().abandoned_retries, 1u);
+  EXPECT_EQ(pool.stats().retries, 0u);
+  EXPECT_EQ(pool.stats().failed_loads, 1u);
+  // Exactly one device attempt was spent, and the fetch resolved long
+  // before the deadline instead of blindly backing off past it.
+  EXPECT_EQ(faulty_->stats().errors_injected(), 1u);
+  EXPECT_LT(resolved_at, 5'000.0);
+  sim::checks::ExpectQuiescent("abandoned retry");
+}
+
+TEST_F(RetryDeadlineTest, RetriesWhileDeadlineIsStillReachable) {
+  // Error window [0, 500us): the backed-off retry (1 ms) re-issues inside
+  // the query's generous deadline and succeeds.
+  FaultConfig faults;
+  faults.error_latency_us = 100.0;
+  faults.phases.push_back(FaultPhase{0.0, 500.0, 1.0, 1.0});
+  io::RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.backoff_base_us = 1'000.0;
+  retry.jitter_frac = 0.0;
+  auto pool = MakePool(faults, retry);
+
+  io::QueryContext query(sim_);
+  query.SetDeadline(50'000.0);
+  storage::BufferPool::PageRef got;
+  bool cancelled_at_resolve = true;
+  auto worker = [&]() -> sim::Task {
+    got = co_await pool.Fetch(3, &query);
+    cancelled_at_resolve = query.cancelled();
+    if (got.ok()) pool.Unpin(3, &query);
+  };
+  worker().Detach();
+  sim_.Run();
+
+  EXPECT_TRUE(got.ok());
+  EXPECT_FALSE(cancelled_at_resolve) << "page arrived before the deadline";
+  EXPECT_EQ(pool.stats().retries, 1u);
+  EXPECT_EQ(pool.stats().abandoned_retries, 0u);
+  sim::checks::ExpectQuiescent("reachable deadline");
+}
+
+TEST_F(RetryDeadlineTest, BackoffStopsBurningBudgetOnceDeadlineIsPassed) {
+  // Exponential backoff (2 ms base, x2) against a 10 ms deadline and
+  // permanent errors: re-issues at ~2.1 ms and ~6.2 ms happen, the next
+  // (~14 ms) would land past the deadline and is abandoned. Only 3 of the
+  // allowed 6 attempts ever reach the device.
+  FaultConfig faults;
+  faults.read_error_prob = 1.0;
+  faults.error_latency_us = 100.0;
+  io::RetryPolicy retry;
+  retry.max_attempts = 6;
+  retry.backoff_base_us = 2'000.0;
+  retry.backoff_multiplier = 2.0;
+  retry.jitter_frac = 0.0;
+  auto pool = MakePool(faults, retry);
+
+  io::QueryContext query(sim_);
+  query.SetDeadline(10'000.0);
+  Status got = Status::OK();
+  double resolved_at = -1.0;
+  auto worker = [&]() -> sim::Task {
+    auto ref = co_await pool.Fetch(11, &query);
+    got = ref.status;
+    resolved_at = sim_.Now();
+  };
+  worker().Detach();
+  sim_.Run();
+
+  EXPECT_EQ(got.code(), StatusCode::kIoError);
+  EXPECT_EQ(pool.stats().retries, 2u);
+  EXPECT_EQ(pool.stats().abandoned_retries, 1u);
+  EXPECT_EQ(faulty_->stats().errors_injected(), 3u);
+  EXPECT_LT(resolved_at, 10'000.0) << "failed fast, not after the deadline";
+  sim::checks::ExpectQuiescent("budget-aware backoff");
+}
+
+TEST_F(RetryDeadlineTest, DeadlineFreeConsumerKeepsRetryWorthwhile) {
+  // Two queries wait on the same loading page: one with an unreachable
+  // deadline, one without any. The deadline-free consumer still benefits,
+  // so the retry proceeds and serves both (the second attempt succeeds).
+  FaultConfig faults;
+  faults.error_latency_us = 100.0;
+  faults.phases.push_back(FaultPhase{0.0, 500.0, 1.0, 1.0});
+  io::RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.backoff_base_us = 20'000.0;
+  retry.jitter_frac = 0.0;
+  auto pool = MakePool(faults, retry);
+
+  io::QueryContext tight(sim_);
+  tight.SetDeadline(1'000.0);  // unreachable: re-issue is at ~20.1 ms
+  io::QueryContext patient(sim_);
+  int successes = 0;
+  int failures = 0;
+  auto worker = [&](io::QueryContext* q) -> sim::Task {
+    auto ref = co_await pool.Fetch(5, q);
+    if (ref.ok()) {
+      ++successes;
+      pool.Unpin(5, q);
+    } else {
+      ++failures;
+    }
+  };
+  worker(&tight).Detach();
+  worker(&patient).Detach();
+  sim_.Run();
+
+  EXPECT_EQ(pool.stats().abandoned_retries, 0u);
+  EXPECT_EQ(pool.stats().retries, 1u);
+  // The patient query got its page; the tight one was cancelled by its
+  // deadline while suspended and failed without sinking the retry.
+  EXPECT_EQ(successes, 1);
+  EXPECT_EQ(failures, 1);
+  EXPECT_TRUE(tight.cancelled());
+  EXPECT_FALSE(patient.cancelled());
+  sim::checks::ExpectQuiescent("mixed consumers");
+}
+
+}  // namespace
+}  // namespace pioqo

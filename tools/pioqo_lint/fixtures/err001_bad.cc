@@ -19,3 +19,12 @@ sim::Task Driver(Pool& pool, io::Device& device) {
 void Flush(Pool* pool) {
   pool->Clear();  // ERR001: Status discarded
 }
+
+struct IdleCalibrator {
+  Status StartPartial(const std::vector<uint64_t>& bands);
+};
+
+void TriggerRecalibration(IdleCalibrator& calibrator) {
+  calibrator.StartPartial({4096});  // ERR001: kInvalidArgument /
+                                    // kFailedPrecondition silently lost
+}

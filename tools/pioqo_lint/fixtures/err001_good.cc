@@ -17,3 +17,14 @@ Status Flush(Pool* pool) {
   PIOQO_RETURN_IF_ERROR(pool->Clear());
   return Status::OK();
 }
+
+struct IdleCalibrator {
+  Status StartPartial(const std::vector<uint64_t>& bands);
+};
+
+void TriggerRecalibration(IdleCalibrator& calibrator) {
+  // A partial refresh can race a just-started run (kFailedPrecondition);
+  // the caller decides to retry on the next drift sample, explicitly.
+  Status started = calibrator.StartPartial({4096});
+  if (!started.ok()) Report(started);
+}
