@@ -34,6 +34,7 @@ void QdttModel::SetPoint(size_t band_idx, size_t qd_idx, double cost_us) {
   PIOQO_CHECK(band_idx < bands_.size() && qd_idx < qds_.size());
   PIOQO_CHECK(cost_us >= 0.0);
   costs_[Index(band_idx, qd_idx)] = cost_us;
+  ++generation_;
 }
 
 double QdttModel::PointAt(size_t band_idx, size_t qd_idx) const {

@@ -39,8 +39,15 @@ class QdttModel {
   const std::vector<uint64_t>& band_grid() const { return bands_; }
   const std::vector<int>& qd_grid() const { return qds_; }
 
-  /// Sets the calibrated cost for grid point (band index, qd index).
+  /// Sets the calibrated cost for grid point (band index, qd index) and
+  /// bumps `generation()`.
   void SetPoint(size_t band_idx, size_t qd_idx, double cost_us);
+
+  /// Monotone counter of grid mutations: incremented by every SetPoint, so
+  /// consumers that memoize model-derived results (opt::PlanCache) can tell
+  /// whether the grid they planned against is still the grid that is live —
+  /// e.g. after db::DriftDefense merges refreshed calibration points.
+  uint64_t generation() const { return generation_; }
   /// Calibrated value at a grid point; negative if not set.
   double PointAt(size_t band_idx, size_t qd_idx) const;
   bool IsSet(size_t band_idx, size_t qd_idx) const;
@@ -74,6 +81,7 @@ class QdttModel {
   std::vector<uint64_t> bands_;
   std::vector<int> qds_;
   std::vector<double> costs_;  // -1 == unset
+  uint64_t generation_ = 0;
 };
 
 }  // namespace pioqo::core

@@ -22,7 +22,11 @@ Database::Database(DatabaseOptions options)
                                      : *device_),
       pool_(disk_, options.pool_pages, options.pool_options),
       cpu_(sim_, options.constants.logical_cores,
-           options.constants.physical_cores, options.constants.smt_penalty) {}
+           options.constants.physical_cores, options.constants.smt_penalty) {
+  if (options_.enable_plan_cache) {
+    plan_cache_ = std::make_unique<opt::PlanCache>();
+  }
+}
 
 double Database::ModelReadLatencyBaseline() const {
   // Baseline from the calibrated model: one random page read across the
@@ -109,6 +113,7 @@ core::CalibrationResult Database::Calibrate() {
   core::Calibrator calibrator(sim_, *device_, options_.calibration);
   core::CalibrationResult result = calibrator.Calibrate();
   qdtt_ = result.model;
+  OnModelReplaced();
   BackfillHealthBaseline();
   return result;
 }
@@ -116,7 +121,18 @@ core::CalibrationResult Database::Calibrate() {
 void Database::InstallModel(core::QdttModel model) {
   PIOQO_CHECK(model.complete());
   qdtt_ = std::move(model);
+  OnModelReplaced();
   BackfillHealthBaseline();
+}
+
+void Database::OnModelReplaced() {
+  if (plan_cache_ == nullptr) return;
+  // A *replaced* model can coincidentally carry the generation number the
+  // cache last saw (generations count SetPoint calls per model object), so
+  // the generation tag alone cannot be trusted across installs — flush.
+  plan_cache_->InvalidateAll();
+  plan_cache_generation_ = qdtt_->generation();
+  plan_cache_regime_ = opt::PlanCache::Regime::kFull;
 }
 
 const core::QdttModel& Database::qdtt() const {
@@ -289,9 +305,45 @@ StatusOr<Database::PlannedQuery> Database::PlanWorkloadQuery(
 
   const double confidence =
       drift_defense_ != nullptr ? drift_defense_->confidence() : 1.0;
-  opt::Optimizer optimizer(*qdtt_, options_.constants, request.optimizer);
-  planned.optimization = optimizer.ChooseAccessPath(
-      planned.profile, planned.selectivity, confidence);
+  // Arrival-time planning only needs the winner; EXPLAIN-style callers use
+  // ExecuteQuery, where record_considered keeps its default. The chosen
+  // plan is unaffected (optimizer.h).
+  opt::OptimizerOptions planner_options = request.optimizer;
+  planner_options.record_considered = false;
+
+  if (plan_cache_ != nullptr) {
+    const uint64_t generation = qdtt_->generation();
+    const opt::PlanCache::Regime regime =
+        opt::PlanCache::RegimeFor(confidence, planner_options);
+    if (generation != plan_cache_generation_ ||
+        regime != plan_cache_regime_) {
+      // DriftDefense merged refreshed grid points (SetPoint bumps the
+      // generation) or confidence crossed a fallback threshold: every
+      // cached plan was chosen under assumptions that no longer hold.
+      plan_cache_->InvalidateAll();
+      plan_cache_generation_ = generation;
+      plan_cache_regime_ = regime;
+    }
+    opt::PlanCache::Key key;
+    key.table_id = ds->table.first_page();
+    key.selectivity = planned.selectivity;
+    key.confidence = confidence;
+    key.profile = planned.profile;
+    key.options = planner_options;
+    key.model_generation = generation;
+    if (const opt::OptimizationResult* cached = plan_cache_->Lookup(key)) {
+      planned.optimization = *cached;
+    } else {
+      opt::Optimizer optimizer(*qdtt_, options_.constants, planner_options);
+      planned.optimization = optimizer.ChooseAccessPath(
+          planned.profile, planned.selectivity, confidence);
+      plan_cache_->Insert(key, planned.optimization);
+    }
+  } else {
+    opt::Optimizer optimizer(*qdtt_, options_.constants, planner_options);
+    planned.optimization = optimizer.ChooseAccessPath(
+        planned.profile, planned.selectivity, confidence);
+  }
 
   ConcurrentScanSpec chosen = request.scan;
   chosen.method = planned.optimization.chosen.method;
@@ -434,6 +486,8 @@ StatusOr<Database::WorkloadReport> Database::RunWorkload(
   }
   if (flush_pool) PIOQO_RETURN_IF_ERROR(pool_.Clear());
 
+  const opt::PlanCacheStats cache_before =
+      plan_cache_ != nullptr ? plan_cache_->stats() : opt::PlanCacheStats{};
   WorkloadReport report;
   report.queries.resize(requests.size());
   sim::Latch all_done(sim_, static_cast<int64_t>(requests.size()));
@@ -453,6 +507,13 @@ StatusOr<Database::WorkloadReport> Database::RunWorkload(
       case QueryTerminal::kCancelled: ++report.cancelled; break;
       case QueryTerminal::kFailed:    ++report.failed; break;
     }
+  }
+  if (plan_cache_ != nullptr) {
+    const opt::PlanCacheStats& now = plan_cache_->stats();
+    report.plan_cache.hits = now.hits - cache_before.hits;
+    report.plan_cache.misses = now.misses - cache_before.misses;
+    report.plan_cache.invalidations =
+        now.invalidations - cache_before.invalidations;
   }
   return report;
 }

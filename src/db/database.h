@@ -20,6 +20,7 @@
 #include "io/health_monitor.h"
 #include "io/retry_policy.h"
 #include "opt/optimizer.h"
+#include "opt/plan_cache.h"
 #include "sim/cpu.h"
 #include "sim/simulator.h"
 #include "storage/buffer_pool.h"
@@ -45,6 +46,11 @@ struct DatabaseOptions {
   /// The inert default costs nothing; give timeout_us > 0 to survive stuck
   /// requests.
   storage::BufferPoolOptions pool_options;
+  /// Memoize arrival-time planning in RunWorkload (opt::PlanCache). A hit
+  /// returns the bit-identical plan a fresh optimization would choose
+  /// (verified by plan_cache_test.cc's A/B run); turn off to force every
+  /// query through full enumeration, e.g. for such A/B comparisons.
+  bool enable_plan_cache = true;
 };
 
 /// The top-level facade: one simulated host (clock, 8 logical cores), one
@@ -174,6 +180,9 @@ class Database {
     size_t timed_out = 0;
     size_t cancelled = 0;
     size_t failed = 0;
+    /// Plan-cache activity during *this* workload (all zero when
+    /// DatabaseOptions::enable_plan_cache is off).
+    opt::PlanCacheStats plan_cache;
   };
 
   /// Replays `requests` as an open-loop arrival process against the shared
@@ -206,6 +215,10 @@ class Database {
     double selectivity = 0.0;
   };
   StatusOr<PlannedQuery> PlanWorkloadQuery(const QueryRequest& request);
+
+  /// The arrival-time plan cache (nullptr when disabled). Cumulative stats;
+  /// WorkloadReport::plan_cache carries the per-workload delta.
+  opt::PlanCache* plan_cache() { return plan_cache_.get(); }
 
   /// Optimizer-facing statistics for a table.
   core::TableProfile ProfileFor(const storage::Dataset& dataset) const;
@@ -259,6 +272,9 @@ class Database {
   /// Derives the health monitor's baseline once a model becomes available,
   /// if EnableHealthMonitor ran uncalibrated without an explicit one.
   void BackfillHealthBaseline();
+  /// Flushes the plan cache and resyncs its generation/regime trackers
+  /// after Calibrate()/InstallModel() swapped the whole model object.
+  void OnModelReplaced();
 
   DatabaseOptions options_;
   sim::Simulator sim_;
@@ -277,6 +293,11 @@ class Database {
   std::map<std::string, storage::Dataset> tables_;
   std::map<std::string, core::EquiWidthHistogram> histograms_;
   std::optional<core::QdttModel> qdtt_;
+  std::unique_ptr<opt::PlanCache> plan_cache_;
+  /// Model generation / confidence regime the cache's entries were planned
+  /// under; a change in either flushes the cache (DESIGN.md §13).
+  uint64_t plan_cache_generation_ = 0;
+  opt::PlanCache::Regime plan_cache_regime_ = opt::PlanCache::Regime::kFull;
 };
 
 }  // namespace pioqo::db

@@ -341,6 +341,20 @@ sim::Task IsWorker(IsState& s, int worker_index) {
       }
     }
 
+    // Pipeline the next leaf: issuing its page now (gated on prefetch_depth,
+    // so prefetch-free plans keep their exact trace) means the worker that
+    // pops it finds the leaf resident or in flight and starts issuing its
+    // own RID batch while this leaf's row pages are still draining from the
+    // device queue — instead of stalling a full leaf-read round trip between
+    // batches. Prefetch dedups, so a leaf another worker already reached
+    // costs one table probe.
+    if (s.prefetch_depth > 0 && !s.leaves.closed()) {
+      const PageId next_leaf = BPlusTree::LeafNext(leaf.data);
+      if (next_leaf != kInvalidPageId && next_leaf <= s.tail_leaf) {
+        s.ctx.pool.Prefetch(next_leaf);
+      }
+    }
+
     bool leaf_failed = false;
     size_t prefetched = 0;
     for (size_t i = 0; i < batch.size(); ++i) {

@@ -62,28 +62,38 @@ OptimizationResult Optimizer::ChooseAccessPath(const core::TableProfile& profile
     min_degree = std::min(min_degree, dop);
   }
 
+  // Tracks the winner incrementally: strict `<` keeps the *first* minimum
+  // in enumeration order, exactly what min_element over `considered` picks,
+  // so the chosen plan is bit-identical whether or not alternatives are
+  // recorded (asserted by optimizer tests).
+  core::PlanCandidate best;
+  bool have_candidate = false;
+  auto offer = [&](const core::PlanCandidate& plan) {
+    if (options_.record_considered) result.considered.push_back(plan);
+    if (!have_candidate || plan.total_us < best.total_us) {
+      best = plan;
+      have_candidate = true;
+    }
+  };
+
   for (int dop : options_.parallel_degrees) {
     if (options_.force_parallel && dop == 1) continue;
     if (dop > max_dop && dop != min_degree) {
       result.dop_clamped = true;
       continue;
     }
-    result.considered.push_back(model.CostFullTableScan(profile, dop));
+    offer(model.CostFullTableScan(profile, dop));
     for (int prefetch : options_.prefetch_depths) {
-      result.considered.push_back(
-          model.CostIndexScan(profile, selectivity, dop, prefetch));
+      offer(model.CostIndexScan(profile, selectivity, dop, prefetch));
       if (options_.enable_sorted_index_scan) {
-        result.considered.push_back(model.CostSortedIndexScan(
-            profile, selectivity, dop, prefetch));
+        offer(model.CostSortedIndexScan(profile, selectivity, dop, prefetch));
       }
     }
   }
-  PIOQO_CHECK(!result.considered.empty())
+  PIOQO_CHECK(have_candidate)
       << "no plan candidates (force_parallel with only dop 1, or every "
          "parallel degree clamped by low model confidence?)";
-  result.chosen = *std::min_element(
-      result.considered.begin(), result.considered.end(),
-      [](const auto& a, const auto& b) { return a.total_us < b.total_us; });
+  result.chosen = best;
   return result;
 }
 

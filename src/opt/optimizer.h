@@ -29,6 +29,12 @@ struct OptimizerOptions {
   /// Number of concurrent query streams the device queue is shared with;
   /// the plan's queue depth is divided by this before the QDTT lookup.
   int concurrent_streams = 1;
+  /// Record every costed alternative in OptimizationResult::considered
+  /// (EXPLAIN / tests). Off, only the winner is tracked — the chosen plan is
+  /// bit-identical either way (both keep the *first* minimum in enumeration
+  /// order), but arrival-time planning in Database::RunWorkload skips the
+  /// per-query vector churn (and the plan cache stores slim entries).
+  bool record_considered = true;
 
   /// --- Drift-defense fallback thresholds --------------------------------
   /// Below this model confidence (see core::DriftDetector) the enumerated

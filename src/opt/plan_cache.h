@@ -1,0 +1,105 @@
+#ifndef PIOQO_OPT_PLAN_CACHE_H_
+#define PIOQO_OPT_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "opt/optimizer.h"
+
+namespace pioqo::opt {
+
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  /// Entries dropped because the model they were planned against is no
+  /// longer live (QDTT generation advanced — e.g. a DriftDefense point
+  /// merge) or the confidence regime crossed a fallback threshold.
+  uint64_t invalidations = 0;
+};
+
+/// Memoizes access-path selection for repeated planning problems
+/// (DESIGN.md §13).
+///
+/// Arrival-time planning in Database::RunWorkload re-runs the full
+/// enumerate-and-cost loop for every `use_optimizer` query, yet open-loop
+/// workloads overwhelmingly repeat a handful of (table, predicate) shapes.
+/// The cache is direct-mapped: the bucket index hashes the *coarse* plan
+/// problem — table, log-spaced selectivity bucket, concurrent streams, and
+/// the drift-defense confidence regime — while the entry stores an *exact*
+/// tag over every input the optimizer reads (selectivity and confidence to
+/// the bit, a fingerprint of the whole TableProfile including the live
+/// cached_fraction, an OptimizerOptions fingerprint, and the QDTT model
+/// generation). A hit therefore returns a plan that is bit-identical to
+/// what a fresh ChooseAccessPath would produce; anything the tag cannot
+/// prove unchanged is a miss. That is the invariant the A/B test in
+/// plan_cache_test.cc pins down.
+///
+/// Invalidation: entries are implicitly dead once the model generation they
+/// captured is stale (core::QdttModel::SetPoint bumps it — DriftDefense
+/// merges refreshed points through exactly that path), and Database also
+/// calls InvalidateAll() eagerly when it observes a generation bump or a
+/// confidence-regime crossing, so the counters surface *why* replanning
+/// happened rather than burying it in tag misses.
+class PlanCache {
+ public:
+  /// Drift-defense trust bands (optimizer.h thresholds): plans cached in
+  /// one regime are never served in another, because the optimizer's
+  /// search-space clamps differ across them.
+  enum class Regime { kFull, kConservative, kDttFallback };
+
+  /// `num_buckets` is rounded up to a power of two.
+  explicit PlanCache(size_t num_buckets = 256);
+
+  static Regime RegimeFor(double confidence, const OptimizerOptions& options);
+
+  /// Everything ChooseAccessPath reads, gathered by the caller.
+  struct Key {
+    /// Catalog identity of the scanned table (its first page id).
+    uint64_t table_id = 0;
+    double selectivity = 0.0;
+    double confidence = 1.0;
+    core::TableProfile profile;
+    OptimizerOptions options;
+    /// core::QdttModel::generation() at lookup time.
+    uint64_t model_generation = 0;
+  };
+
+  /// Cached result for `key`, or nullptr (counted as hit/miss; a stale
+  /// generation also counts an invalidation). The pointer is valid until
+  /// the next Insert/InvalidateAll.
+  const OptimizationResult* Lookup(const Key& key);
+
+  /// Stores `result` for `key`, evicting whatever shared its bucket.
+  void Insert(const Key& key, const OptimizationResult& result);
+
+  /// Drops every entry, counting the live ones as invalidations.
+  void InvalidateAll();
+
+  const PlanCacheStats& stats() const { return stats_; }
+  size_t size() const;
+
+ private:
+  struct Entry {
+    bool valid = false;
+    uint64_t table_id = 0;
+    uint64_t selectivity_bits = 0;
+    uint64_t confidence_bits = 0;
+    uint64_t profile_fp = 0;
+    uint64_t options_fp = 0;
+    uint64_t model_generation = 0;
+    OptimizationResult result;
+  };
+
+  size_t BucketOf(const Key& key) const;
+  static void FillTags(const Key& key, Entry& entry);
+  static bool TagsMatch(const Key& key, const Entry& entry);
+
+  std::vector<Entry> buckets_;
+  size_t mask_ = 0;
+  PlanCacheStats stats_;
+};
+
+}  // namespace pioqo::opt
+
+#endif  // PIOQO_OPT_PLAN_CACHE_H_

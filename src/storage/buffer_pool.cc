@@ -1,6 +1,5 @@
 #include "storage/buffer_pool.h"
 
-#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -16,10 +15,78 @@ BufferPool::BufferPool(DiskImage& disk, uint32_t capacity_pages,
       options_(options),
       retry_rng_(options.retry_seed) {
   PIOQO_CHECK(capacity_pages >= 2);
-  // Pre-size to the high-water mark: at most `capacity_` frames can ever be
-  // resident or loading, and each inflight read covers >= 1 frame.
-  frames_.reserve(capacity_pages);
-  inflight_.reserve(capacity_pages);
+  // The slab is the high-water mark: at most `capacity_` frames can ever be
+  // resident or loading. Sizing the tables to it means no rehash — and no
+  // allocation of any kind — on the steady-state fetch path.
+  slab_.resize(capacity_pages);
+  for (uint32_t i = 0; i < capacity_pages; ++i) {
+    slab_[i].next_free = (i + 1 < capacity_pages) ? i + 1 : kNoSlot;
+  }
+  free_head_ = 0;
+  page_table_.Reserve(capacity_pages);
+  inflight_.Reserve(capacity_pages);
+}
+
+BufferPool::Frame* BufferPool::FindFrame(PageId pid) {
+  uint32_t* slot = page_table_.Find(pid);
+  return slot != nullptr ? &slab_[*slot] : nullptr;
+}
+
+const BufferPool::Frame* BufferPool::FindFrame(PageId pid) const {
+  const uint32_t* slot = page_table_.Find(pid);
+  return slot != nullptr ? &slab_[*slot] : nullptr;
+}
+
+BufferPool::Frame& BufferPool::AllocFrame(PageId pid) {
+  PIOQO_CHECK(free_head_ != kNoSlot);
+  const uint32_t slot = free_head_;
+  Frame& f = slab_[slot];
+  free_head_ = f.next_free;
+  f = Frame{};
+  f.pid = pid;
+  page_table_.Insert(pid, slot);
+  ++num_frames_;
+  return f;
+}
+
+void BufferPool::ReleaseFrame(Frame& f) {
+  const uint32_t slot = SlotOf(f);
+  page_table_.Erase(f.pid);
+  --num_frames_;
+  f.pid = kInvalidPageId;
+  f.waiters_head = f.waiters_tail = nullptr;
+  f.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void BufferPool::AppendWaiter(Frame& f, FetchAwaiter* w) {
+  w->next_waiter_ = nullptr;
+  if (f.waiters_tail != nullptr) {
+    f.waiters_tail->next_waiter_ = w;
+  } else {
+    f.waiters_head = w;
+  }
+  f.waiters_tail = w;
+}
+
+bool BufferPool::RemoveWaiter(Frame& f, FetchAwaiter* w) {
+  FetchAwaiter* prev = nullptr;
+  for (FetchAwaiter* cur = f.waiters_head; cur != nullptr;
+       cur = cur->next_waiter_) {
+    if (cur != w) {
+      prev = cur;
+      continue;
+    }
+    if (prev != nullptr) {
+      prev->next_waiter_ = cur->next_waiter_;
+    } else {
+      f.waiters_head = cur->next_waiter_;
+    }
+    if (f.waiters_tail == cur) f.waiters_tail = prev;
+    cur->next_waiter_ = nullptr;
+    return true;
+  }
+  return false;
 }
 
 BufferPool::FetchAwaiter::~FetchAwaiter() {
@@ -28,17 +95,14 @@ BufferPool::FetchAwaiter::~FetchAwaiter() {
     listening_ = false;
   }
   // Self-unregistration: if the waiting coroutine is destroyed before the
-  // load resolves, drop out of the frame's waiter list and release the
+  // load resolves, drop out of the frame's waiter chain and release the
   // suspend-time pin so the frame can still be evicted later.
   if (!registered_) return;
-  auto it = pool_.frames_.find(pid_);
-  if (it == pool_.frames_.end()) return;
-  Frame& f = it->second;
-  auto w = std::find(f.waiters.begin(), f.waiters.end(), this);
-  if (w == f.waiters.end()) return;
-  f.waiters.erase(w);
+  Frame* f = pool_.FindFrame(pid_);
+  if (f == nullptr) return;
+  if (!RemoveWaiter(*f, this)) return;
   sim::checks::OnWaiterUnregistered(handle_.address());
-  if (f.pin_count > 0) --f.pin_count;
+  if (f->pin_count > 0) --f->pin_count;
   if (counted_pin_) {
     query_->OnUnpin();
     counted_pin_ = false;
@@ -57,8 +121,8 @@ bool BufferPool::FetchAwaiter::await_ready() {
       return true;
     }
   }
-  auto it = pool_.frames_.find(pid_);
-  if (it != pool_.frames_.end() && it->second.state == FrameState::kReady) {
+  Frame* f = pool_.FindFrame(pid_);
+  if (f != nullptr && f->state == FrameState::kReady) {
     if (query_ != nullptr) {
       Status quota = query_->TryPin();
       if (!quota.ok()) {
@@ -69,13 +133,12 @@ bool BufferPool::FetchAwaiter::await_ready() {
       counted_pin_ = true;
     }
     // Hit: pin immediately, no suspension.
-    Frame& f = it->second;
     ++pool_.stats_.hits;
-    if (f.from_prefetch) f.from_prefetch = false;
+    if (f->from_prefetch) f->from_prefetch = false;
     // Pinning removes the page from the LRU list; Unpin re-inserts it at the
     // MRU end, which is what makes the policy least-recently-*used*.
-    pool_.RemoveFromLru(f);
-    ++f.pin_count;
+    pool_.RemoveFromLru(*f);
+    ++f->pin_count;
     was_hit_ = true;
     return true;
   }
@@ -95,8 +158,8 @@ bool BufferPool::FetchAwaiter::await_suspend(std::coroutine_handle<> h) {
     }
     counted_pin_ = true;
   }
-  auto it = pool_.frames_.find(pid_);
-  if (it == pool_.frames_.end()) {
+  Frame* f = pool_.FindFrame(pid_);
+  if (f == nullptr) {
     Status st = pool_.StartRead(pid_, 1, /*prefetch=*/false, query_);
     if (!st.ok()) {
       // No frame available: resolve immediately with the error instead of
@@ -109,18 +172,19 @@ bool BufferPool::FetchAwaiter::await_suspend(std::coroutine_handle<> h) {
       }
       return false;
     }
-    it = pool_.frames_.find(pid_);
+    f = pool_.FindFrame(pid_);
+    PIOQO_CHECK(f != nullptr);
   } else {
     ++pool_.stats_.joined_inflight;
   }
-  PIOQO_CHECK(it->second.state == FrameState::kLoading);
+  PIOQO_CHECK(f->state == FrameState::kLoading);
   handle_ = h;
   registered_ = true;
   sim::checks::OnWaiterRegistered(h.address());
-  it->second.waiters.push_back(this);
+  AppendWaiter(*f, this);
   // Pin at suspend time: a waiter resumed earlier could otherwise evict the
   // page (via its own fetches) before this waiter runs.
-  ++it->second.pin_count;
+  ++f->pin_count;
   if (query_ != nullptr) {
     query_->AddCancelListener(this);
     listening_ = true;
@@ -142,34 +206,29 @@ BufferPool::PageRef BufferPool::FetchAwaiter::await_resume() {
     }
     return PageRef{nullptr, false, status_};
   }
-  auto it = pool_.frames_.find(pid_);
-  PIOQO_CHECK(it != pool_.frames_.end() &&
-              it->second.state == FrameState::kReady)
+  Frame* f = pool_.FindFrame(pid_);
+  PIOQO_CHECK(f != nullptr && f->state == FrameState::kReady)
       << "page " << pid_ << " not resident after fetch";
-  Frame& f = it->second;
   // Hit path pinned in await_ready; miss path pinned in await_suspend. The
   // quota pin (counted_pin_) stays charged until Unpin(pid, query).
-  PIOQO_CHECK(f.pin_count > 0);
+  PIOQO_CHECK(f->pin_count > 0);
   // Feed the query's drift observation: every successful fetch is one page,
   // misses are the ones that cost device time.
   if (query_ != nullptr) query_->OnPageFetch(was_hit_);
-  return PageRef{f.data, was_hit_, Status::OK()};
+  return PageRef{f->data, was_hit_, Status::OK()};
 }
 
 void BufferPool::FetchAwaiter::OnQueryCancelled(const Status& reason) {
   // The QueryContext already dropped us from its listener list.
   listening_ = false;
   PIOQO_CHECK(registered_);
-  auto it = pool_.frames_.find(pid_);
-  PIOQO_CHECK(it != pool_.frames_.end());
-  Frame& f = it->second;
-  auto w = std::find(f.waiters.begin(), f.waiters.end(), this);
-  PIOQO_CHECK(w != f.waiters.end());
-  f.waiters.erase(w);
+  Frame* f = pool_.FindFrame(pid_);
+  PIOQO_CHECK(f != nullptr);
+  PIOQO_CHECK(RemoveWaiter(*f, this));
   registered_ = false;
   sim::checks::OnWaiterUnregistered(handle_.address());
-  PIOQO_CHECK(f.pin_count > 0);
-  --f.pin_count;
+  PIOQO_CHECK(f->pin_count > 0);
+  --f->pin_count;
   if (counted_pin_) {
     query_->OnUnpin();
     counted_pin_ = false;
@@ -184,52 +243,68 @@ void BufferPool::FetchAwaiter::OnQueryCancelled(const Status& reason) {
 }
 
 void BufferPool::Unpin(PageId pid, io::QueryContext* query) {
-  auto it = frames_.find(pid);
-  PIOQO_CHECK(it != frames_.end()) << "unpin of non-resident page " << pid;
-  Frame& f = it->second;
-  PIOQO_CHECK(f.pin_count > 0) << "unpin of unpinned page " << pid;
-  if (--f.pin_count == 0) AddToLru(f);
+  Frame* f = FindFrame(pid);
+  PIOQO_CHECK(f != nullptr) << "unpin of non-resident page " << pid;
+  PIOQO_CHECK(f->pin_count > 0) << "unpin of unpinned page " << pid;
+  if (--f->pin_count == 0) AddToLru(*f);
   if (query != nullptr) query->OnUnpin();
 }
 
 void BufferPool::Prefetch(PageId pid) {
   ++stats_.prefetch_issued;
-  if (frames_.contains(pid)) return;  // resident or already in flight
+  if (page_table_.Contains(pid)) return;  // resident or already in flight
   Status st = StartRead(pid, 1, /*prefetch=*/true);
   (void)st;  // prefetch is best-effort; drops are counted in stats
 }
 
 void BufferPool::PrefetchBlock(PageId first, uint32_t count) {
   stats_.prefetch_issued += count;
-  // Split the block into maximal runs of absent pages; each run is one
-  // device request.
+  // One bookkeeping pass: split the block into maximal runs of absent pages
+  // (each run is one device request), allocate every run's frames and
+  // inflight entry, then hand the whole batch to the device in a single
+  // SubmitBatch call. Preparation schedules nothing, and batch submission
+  // preserves per-request event order, so this is trace-identical to the
+  // prepare-submit-prepare-submit loop it replaces.
+  uint64_t read_ids[kMaxPrefetchRuns];
+  uint32_t num_runs = 0;
   uint32_t run_start = 0;
   bool in_run = false;
   for (uint32_t i = 0; i <= count; ++i) {
-    const bool absent = i < count && !frames_.contains(first + i);
+    const bool absent = i < count && !page_table_.Contains(first + i);
     if (absent && !in_run) {
       run_start = i;
       in_run = true;
     } else if (!absent && in_run) {
-      Status st = StartRead(first + run_start, i - run_start, /*prefetch=*/true);
-      (void)st;
+      uint64_t read_id = 0;
+      Status st = PrepareRead(first + run_start, i - run_start,
+                              /*prefetch=*/true, nullptr, &read_id);
+      (void)st;  // prefetch is best-effort; drops are counted in stats
+      if (read_id != 0) {
+        read_ids[num_runs++] = read_id;
+        if (num_runs == kMaxPrefetchRuns) {
+          SubmitPrepared(read_ids, num_runs);
+          num_runs = 0;
+        }
+      }
       in_run = false;
     }
   }
+  SubmitPrepared(read_ids, num_runs);
 }
 
 bool BufferPool::IsResident(PageId pid) const {
-  auto it = frames_.find(pid);
-  return it != frames_.end() && it->second.state == FrameState::kReady;
+  const Frame* f = FindFrame(pid);
+  return f != nullptr && f->state == FrameState::kReady;
 }
 
 uint32_t BufferPool::ResidentInRange(PageId first, uint32_t count) const {
-  // Iterate whichever side is smaller: the range or the resident set.
+  // Probe the range when it is small; otherwise one contiguous sweep of the
+  // slab beats `count` hash probes.
   uint32_t resident = 0;
-  if (frames_.size() < count) {
-    for (const auto& [pid, frame] : frames_) {
-      if (pid >= first && pid < first + count &&
-          frame.state == FrameState::kReady) {
+  if (capacity_ < count) {
+    for (const Frame& f : slab_) {
+      if (f.pid != kInvalidPageId && f.pid >= first && f.pid < first + count &&
+          f.state == FrameState::kReady) {
         ++resident;
       }
     }
@@ -242,46 +317,60 @@ uint32_t BufferPool::ResidentInRange(PageId first, uint32_t count) const {
 }
 
 Status BufferPool::Clear() {
-  for (const auto& [pid, f] : frames_) {
+  for (const Frame& f : slab_) {
+    if (f.pid == kInvalidPageId) continue;
     if (f.pin_count > 0) {
       return Status::FailedPrecondition("Clear() with pinned page " +
-                                        std::to_string(pid));
+                                        std::to_string(f.pid));
     }
     if (f.state != FrameState::kReady) {
       return Status::FailedPrecondition("Clear() with in-flight page " +
-                                        std::to_string(pid));
+                                        std::to_string(f.pid));
     }
   }
-  frames_.clear();
-  lru_.clear();
+  page_table_.clear();
+  for (uint32_t i = 0; i < capacity_; ++i) {
+    slab_[i] = Frame{};
+    slab_[i].next_free = (i + 1 < capacity_) ? i + 1 : kNoSlot;
+  }
+  free_head_ = 0;
+  num_frames_ = 0;
+  lru_head_ = lru_tail_ = kNoSlot;
   return Status::OK();
 }
 
 bool BufferPool::EnsureCapacity() {
-  if (frames_.size() < capacity_) return true;
-  if (lru_.empty()) return false;  // every frame pinned or loading
-  const PageId victim = lru_.back();
-  lru_.pop_back();
-  auto it = frames_.find(victim);
-  PIOQO_CHECK(it != frames_.end());
-  frames_.erase(it);
+  if (num_frames_ < capacity_) return true;
+  if (lru_tail_ == kNoSlot) return false;  // every frame pinned or loading
+  Frame& victim = slab_[lru_tail_];
+  RemoveFromLru(victim);
+  ReleaseFrame(victim);
   ++stats_.evictions;
   return true;
 }
 
 Status BufferPool::StartRead(PageId first, uint32_t count, bool prefetch,
                              io::QueryContext* originator) {
+  uint64_t read_id = 0;
+  PIOQO_RETURN_IF_ERROR(
+      PrepareRead(first, count, prefetch, originator, &read_id));
+  if (read_id != 0) IssueAttempt(read_id);
+  return Status::OK();
+}
+
+Status BufferPool::PrepareRead(PageId first, uint32_t count, bool prefetch,
+                               io::QueryContext* originator,
+                               uint64_t* out_read_id) {
   PIOQO_CHECK(count >= 1);
+  *out_read_id = 0;
   const uint64_t read_id = next_read_id_++;
   uint32_t created = 0;
   for (uint32_t i = 0; i < count; ++i) {
     if (!EnsureCapacity()) break;
-    Frame f;
-    f.pid = first + i;
+    Frame& f = AllocFrame(first + i);
     f.state = FrameState::kLoading;
     f.from_prefetch = prefetch;
     f.read_id = read_id;
-    frames_.emplace(first + i, std::move(f));
     ++created;
   }
   if (created < count) {
@@ -307,64 +396,92 @@ Status BufferPool::StartRead(PageId first, uint32_t count, bool prefetch,
   r.count = count;
   r.prefetch = prefetch;
   r.originator = prefetch ? nullptr : originator;
-  inflight_.emplace(read_id, r);
-  IssueAttempt(read_id);
+  inflight_.Insert(read_id, r);
+  *out_read_id = read_id;
   return Status::OK();
 }
 
-void BufferPool::OnWaiterCancelled(PageId pid, io::QueryContext* query) {
-  auto fit = frames_.find(pid);
-  if (fit == frames_.end() || fit->second.state != FrameState::kLoading) return;
-  Frame& f = fit->second;
-  auto it = inflight_.find(f.read_id);
-  PIOQO_CHECK(it != inflight_.end());
-  InflightRead& r = it->second;
-  if (r.originator != query) return;  // started by (or handed to) another query
-  if (!f.waiters.empty()) {
-    // Someone else still wants the page: the read survives its originator.
-    r.originator = nullptr;
+void BufferPool::SubmitPrepared(const uint64_t* read_ids, uint32_t count) {
+  if (count == 0) return;
+  PIOQO_CHECK(count <= kMaxPrefetchRuns);
+  if (options_.retry.timeout_us > 0.0 || count == 1) {
+    // Each read's deadline must be armed immediately before its submission
+    // (the per-read order IssueAttempt produces); only a deadline-free
+    // configuration can batch the submissions together.
+    for (uint32_t i = 0; i < count; ++i) IssueAttempt(read_ids[i]);
     return;
   }
-  PIOQO_CHECK(f.pin_count == 0);
-  if (!disk_.device().Cancel(r.device_request_id)) {
+  io::Device::BatchEntry entries[kMaxPrefetchRuns];
+  for (uint32_t i = 0; i < count; ++i) {
+    const InflightRead* r = inflight_.Find(read_ids[i]);
+    PIOQO_CHECK(r != nullptr);
+    const uint64_t read_id = read_ids[i];
+    const int attempt = r->attempt;
+    entries[i].req = io::IoRequest{io::IoRequest::Kind::kRead,
+                                   disk_.OffsetOf(r->first),
+                                   r->count * kPageSize};
+    entries[i].done = [this, read_id, attempt](const io::IoResult& result) {
+      OnReadComplete(read_id, attempt, result.status);
+    };
+  }
+  disk_.device().SubmitBatch(entries, count);
+  for (uint32_t i = 0; i < count; ++i) {
+    InflightRead* r = inflight_.Find(read_ids[i]);
+    PIOQO_CHECK(r != nullptr);
+    r->device_request_id = entries[i].id;
+  }
+}
+
+void BufferPool::OnWaiterCancelled(PageId pid, io::QueryContext* query) {
+  Frame* f = FindFrame(pid);
+  if (f == nullptr || f->state != FrameState::kLoading) return;
+  InflightRead* r = inflight_.Find(f->read_id);
+  PIOQO_CHECK(r != nullptr);
+  if (r->originator != query) return;  // started by (or handed to) another query
+  if (f->waiters_head != nullptr) {
+    // Someone else still wants the page: the read survives its originator.
+    r->originator = nullptr;
+    return;
+  }
+  PIOQO_CHECK(f->pin_count == 0);
+  if (!disk_.device().Cancel(r->device_request_id)) {
     // Already being serviced (or waiting out a retry backoff): let it land
     // as an unpinned resident page, exactly like a prefetch.
-    r.originator = nullptr;
+    r->originator = nullptr;
     return;
   }
   // Reclaimed before service: drop the loading frames and the inflight
   // entry; the cancelled completion will never fire.
-  if (r.has_deadline) disk_.device().simulator().Cancel(r.deadline_token);
-  const PageId first = r.first;
-  const uint32_t count = r.count;
-  inflight_.erase(it);
+  if (r->has_deadline) disk_.device().simulator().Cancel(r->deadline_token);
+  const PageId first = r->first;
+  const uint32_t count = r->count;
+  const uint64_t read_id = f->read_id;
+  inflight_.Erase(read_id);
   for (uint32_t i = 0; i < count; ++i) {
-    auto dit = frames_.find(first + i);
-    PIOQO_CHECK(dit != frames_.end() &&
-                dit->second.state == FrameState::kLoading &&
-                dit->second.waiters.empty() && dit->second.pin_count == 0);
-    frames_.erase(dit);
+    Frame* df = FindFrame(first + i);
+    PIOQO_CHECK(df != nullptr && df->state == FrameState::kLoading &&
+                df->waiters_head == nullptr && df->pin_count == 0);
+    ReleaseFrame(*df);
   }
   ++stats_.cancelled_reads;
 }
 
 void BufferPool::IssueAttempt(uint64_t read_id) {
-  auto it = inflight_.find(read_id);
-  PIOQO_CHECK(it != inflight_.end());
-  InflightRead& r = it->second;
-  const int attempt = r.attempt;
+  InflightRead* r = inflight_.Find(read_id);
+  PIOQO_CHECK(r != nullptr);
+  const int attempt = r->attempt;
   if (options_.retry.timeout_us > 0.0) {
     // The deadline is the only recovery path for a stuck request (whose
     // completion never fires). Cancellable: when the read completes in
     // time, the cancelled deadline never executes and leaves no trace.
-    r.has_deadline = true;
-    r.deadline_token = disk_.device().simulator().ScheduleCancellableAfter(
+    r->has_deadline = true;
+    r->deadline_token = disk_.device().simulator().ScheduleCancellableAfter(
         options_.retry.timeout_us,
         [this, read_id, attempt] { OnDeadline(read_id, attempt); });
   }
-  r.device_request_id = disk_.device().Submit(
-      io::IoRequest{io::IoRequest::Kind::kRead, disk_.OffsetOf(r.first),
-                    r.count * kPageSize},
+  r->device_request_id = disk_.device().Submit(
+      io::IoRequest{io::IoRequest::Kind::kRead, disk_.OffsetOf(r->first),
+                    r->count * kPageSize},
       [this, read_id, attempt](const io::IoResult& result) {
         OnReadComplete(read_id, attempt, result.status);
       });
@@ -372,63 +489,65 @@ void BufferPool::IssueAttempt(uint64_t read_id) {
 
 void BufferPool::OnReadComplete(uint64_t read_id, int attempt,
                                 const Status& status) {
-  auto it = inflight_.find(read_id);
-  if (it == inflight_.end() || it->second.attempt != attempt) {
+  InflightRead* r = inflight_.Find(read_id);
+  if (r == nullptr || r->attempt != attempt) {
     // Stale completion: this attempt already timed out (and was retried or
     // failed). The data itself lives in the DiskImage, so discarding the
     // late completion loses nothing.
     return;
   }
-  InflightRead& r = it->second;
-  if (r.has_deadline) {
-    disk_.device().simulator().Cancel(r.deadline_token);
-    r.has_deadline = false;
+  if (r->has_deadline) {
+    disk_.device().simulator().Cancel(r->deadline_token);
+    r->has_deadline = false;
   }
   if (!status.ok()) {
     HandleFailure(read_id, status);
     return;
   }
-  const PageId first = r.first;
-  const uint32_t count = r.count;
-  inflight_.erase(it);
+  const PageId first = r->first;
+  const uint32_t count = r->count;
+  inflight_.Erase(read_id);
   for (uint32_t i = 0; i < count; ++i) {
-    auto fit = frames_.find(first + i);
-    PIOQO_CHECK(fit != frames_.end() &&
-                fit->second.state == FrameState::kLoading);
-    Frame& f = fit->second;
-    f.state = FrameState::kReady;
-    f.data = disk_.PageData(first + i);
-    if (f.pin_count == 0) AddToLru(f);  // waiters already hold pins
-    std::vector<FetchAwaiter*> waiters;
-    waiters.swap(f.waiters);
-    for (FetchAwaiter* w : waiters) {
+    Frame* f = FindFrame(first + i);
+    PIOQO_CHECK(f != nullptr && f->state == FrameState::kLoading);
+    f->state = FrameState::kReady;
+    f->data = disk_.PageData(first + i);
+    if (f->pin_count == 0) AddToLru(*f);  // waiters already hold pins
+    // Detach the waiter chain before resuming: a resumed coroutine may
+    // fetch this page again, appending fresh waiters to the (now-empty)
+    // frame chain without disturbing this walk.
+    FetchAwaiter* w = f->waiters_head;
+    f->waiters_head = f->waiters_tail = nullptr;
+    while (w != nullptr) {
+      FetchAwaiter* next = w->next_waiter_;
+      w->next_waiter_ = nullptr;
       w->registered_ = false;
       sim::checks::OnWaiterUnregistered(w->handle_.address());
       sim::checks::OnBeforeResume(w->handle_.address());
       w->handle_.resume();
+      w = next;
     }
   }
 }
 
 void BufferPool::OnDeadline(uint64_t read_id, int attempt) {
-  auto it = inflight_.find(read_id);
-  if (it == inflight_.end() || it->second.attempt != attempt) return;
-  InflightRead& r = it->second;
-  r.has_deadline = false;  // this deadline just fired
+  InflightRead* r = inflight_.Find(read_id);
+  if (r == nullptr || r->attempt != attempt) return;
+  r->has_deadline = false;  // this deadline just fired
   ++stats_.timeouts;
   disk_.device().stats().RecordTimeout();
   // Try to reclaim the queue slot the abandoned attempt occupies — the
   // recovery path for a *stuck* request, which otherwise pins a device
   // slot forever. False just means the request is genuinely in service
   // (merely slow); its late completion will be discarded as stale.
-  disk_.device().Cancel(r.device_request_id);
+  disk_.device().Cancel(r->device_request_id);
   // Bumping `attempt` in the retry path (or erasing the entry in the fail
   // path) makes any late completion of this attempt stale.
   HandleFailure(read_id,
                 Status::IoError("page read timed out after " +
                                 std::to_string(options_.retry.timeout_us) +
-                                "us (pages " + std::to_string(r.first) + "+" +
-                                std::to_string(r.count) + ")"));
+                                "us (pages " + std::to_string(r->first) + "+" +
+                                std::to_string(r->count) + ")"));
 }
 
 bool BufferPool::RetryWorthwhile(const InflightRead& r, double backoff) const {
@@ -452,9 +571,11 @@ bool BufferPool::RetryWorthwhile(const InflightRead& r, double backoff) const {
     }
   };
   for (uint32_t i = 0; i < r.count; ++i) {
-    auto fit = frames_.find(r.first + i);
-    if (fit == frames_.end()) continue;
-    for (FetchAwaiter* w : fit->second.waiters) consider(w->query_);
+    const Frame* f = FindFrame(r.first + i);
+    if (f == nullptr) continue;
+    for (FetchAwaiter* w = f->waiters_head; w != nullptr; w = w->next_waiter_) {
+      consider(w->query_);
+    }
   }
   if (!any_consumer) {
     // No suspended waiters: prefetches stay best-effort (land unpinned), a
@@ -467,22 +588,21 @@ bool BufferPool::RetryWorthwhile(const InflightRead& r, double backoff) const {
 }
 
 void BufferPool::HandleFailure(uint64_t read_id, const Status& status) {
-  auto it = inflight_.find(read_id);
-  PIOQO_CHECK(it != inflight_.end());
-  InflightRead& r = it->second;
+  InflightRead* r = inflight_.Find(read_id);
+  PIOQO_CHECK(r != nullptr);
   // Only kIoError is transient; kOutOfRange (malformed request) would fail
   // identically on every attempt.
   const bool retryable = status.code() == StatusCode::kIoError;
-  if (retryable && r.attempt < options_.retry.max_attempts) {
-    const double backoff = options_.retry.BackoffUs(r.attempt, retry_rng_);
-    if (!RetryWorthwhile(r, backoff)) {
+  if (retryable && r->attempt < options_.retry.max_attempts) {
+    const double backoff = options_.retry.BackoffUs(r->attempt, retry_rng_);
+    if (!RetryWorthwhile(*r, backoff)) {
       ++stats_.abandoned_retries;
       FailRead(read_id, status);
       return;
     }
     ++stats_.retries;
     disk_.device().stats().RecordRetry();
-    ++r.attempt;
+    ++r->attempt;
     disk_.device().simulator().ScheduleAfter(
         backoff, [this, read_id] { IssueAttempt(read_id); });
     return;
@@ -491,49 +611,75 @@ void BufferPool::HandleFailure(uint64_t read_id, const Status& status) {
 }
 
 void BufferPool::FailRead(uint64_t read_id, const Status& status) {
-  auto it = inflight_.find(read_id);
-  PIOQO_CHECK(it != inflight_.end());
-  const PageId first = it->second.first;
-  const uint32_t count = it->second.count;
-  inflight_.erase(it);
+  InflightRead* r = inflight_.Find(read_id);
+  PIOQO_CHECK(r != nullptr);
+  const PageId first = r->first;
+  const uint32_t count = r->count;
+  inflight_.Erase(read_id);
   ++stats_.failed_loads;
   // Drop every loading frame *before* resuming any waiter: a resumed
   // coroutine that immediately re-fetches the page must start a fresh read,
   // and the suspend-time pins die with their frames (a failed fetch is
-  // never Unpinned).
-  std::vector<FetchAwaiter*> waiters;
+  // never Unpinned). The per-frame chains are concatenated (page order, then
+  // arrival order within a page — the same order the waiter vectors gave).
+  FetchAwaiter* head = nullptr;
+  FetchAwaiter* tail = nullptr;
   for (uint32_t i = 0; i < count; ++i) {
-    auto fit = frames_.find(first + i);
-    PIOQO_CHECK(fit != frames_.end() &&
-                fit->second.state == FrameState::kLoading);
-    for (FetchAwaiter* w : fit->second.waiters) waiters.push_back(w);
-    frames_.erase(fit);
+    Frame* f = FindFrame(first + i);
+    PIOQO_CHECK(f != nullptr && f->state == FrameState::kLoading);
+    if (f->waiters_head != nullptr) {
+      if (tail != nullptr) {
+        tail->next_waiter_ = f->waiters_head;
+      } else {
+        head = f->waiters_head;
+      }
+      tail = f->waiters_tail;
+    }
+    f->waiters_head = f->waiters_tail = nullptr;
+    ReleaseFrame(*f);
   }
-  stats_.fetch_errors += waiters.size();
   // Mark every waiter resolved before resuming the first one, so a resumed
   // coroutine that tears down a sibling (whose awaiter then self-
   // unregisters) sees consistent state.
-  for (FetchAwaiter* w : waiters) {
+  for (FetchAwaiter* w = head; w != nullptr; w = w->next_waiter_) {
+    ++stats_.fetch_errors;
     w->registered_ = false;
     w->status_ = status;
     sim::checks::OnWaiterUnregistered(w->handle_.address());
   }
-  for (FetchAwaiter* w : waiters) {
+  for (FetchAwaiter* w = head; w != nullptr;) {
+    FetchAwaiter* next = w->next_waiter_;
+    w->next_waiter_ = nullptr;
     sim::checks::OnBeforeResume(w->handle_.address());
     w->handle_.resume();
+    w = next;
   }
 }
 
 void BufferPool::AddToLru(Frame& frame) {
   if (frame.in_lru) return;
-  lru_.push_front(frame.pid);
-  frame.lru_it = lru_.begin();
+  const uint32_t slot = SlotOf(frame);
+  frame.lru_prev = kNoSlot;
+  frame.lru_next = lru_head_;
+  if (lru_head_ != kNoSlot) slab_[lru_head_].lru_prev = slot;
+  lru_head_ = slot;
+  if (lru_tail_ == kNoSlot) lru_tail_ = slot;
   frame.in_lru = true;
 }
 
 void BufferPool::RemoveFromLru(Frame& frame) {
   if (!frame.in_lru) return;
-  lru_.erase(frame.lru_it);
+  if (frame.lru_prev != kNoSlot) {
+    slab_[frame.lru_prev].lru_next = frame.lru_next;
+  } else {
+    lru_head_ = frame.lru_next;
+  }
+  if (frame.lru_next != kNoSlot) {
+    slab_[frame.lru_next].lru_prev = frame.lru_prev;
+  } else {
+    lru_tail_ = frame.lru_prev;
+  }
+  frame.lru_prev = frame.lru_next = kNoSlot;
   frame.in_lru = false;
 }
 

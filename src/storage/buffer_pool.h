@@ -3,11 +3,9 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 #include <vector>
 
-#include "common/hash.h"
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "io/query_context.h"
@@ -72,6 +70,17 @@ struct BufferPoolOptions {
 /// Eviction: least-recently-used unpinned resident page. When every frame
 /// is pinned or loading, a fetch resolves with `kResourceExhausted` (and a
 /// prefetch is silently dropped) instead of aborting the process.
+///
+/// Data structures (DESIGN.md §13): frames live in a fixed slab sized at
+/// construction, so every `Frame&` is stable for the pool's lifetime. The
+/// page table is an open-addressed `FlatIntMap` from PageId to slab slot
+/// (no per-node allocation, `Mix64`-scrambled linear probing), the LRU is a
+/// doubly-linked list threaded through the slab by slot index, and fetch
+/// waiters form an intrusive chain through the awaiters themselves. The
+/// steady-state fetch path therefore performs zero heap allocations. All of
+/// this is host-side bookkeeping: device request order, eviction victims,
+/// and waiter resume order are bit-identical to the node-based
+/// implementation (enforced by buffer_pool_stress_test's recorded goldens).
 class BufferPool {
  public:
   BufferPool(DiskImage& disk, uint32_t capacity_pages,
@@ -117,8 +126,11 @@ class BufferPool {
     io::QueryContext* query_;
     std::coroutine_handle<> handle_;
     Status status_;
+    /// Intrusive link in the loading frame's waiter chain (the awaiter IS
+    /// the waiter node — no per-frame vector, no allocation per waiter).
+    FetchAwaiter* next_waiter_ = nullptr;
     bool was_hit_ = false;
-    bool registered_ = false;   // currently in a frame's waiter list
+    bool registered_ = false;   // currently in a frame's waiter chain
     bool counted_pin_ = false;  // pin charged against the query's quota
     bool listening_ = false;    // registered as the query's cancel listener
   };
@@ -161,7 +173,7 @@ class BufferPool {
   Status Clear();
 
   uint32_t capacity() const { return capacity_; }
-  uint32_t resident_pages() const { return static_cast<uint32_t>(frames_.size()); }
+  uint32_t resident_pages() const { return num_frames_; }
   const BufferPoolStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferPoolStats{}; }
 
@@ -171,18 +183,27 @@ class BufferPool {
  private:
   enum class FrameState { kLoading, kReady };
 
+  /// Sentinel slot index for the intrusive LRU links and the free list.
+  static constexpr uint32_t kNoSlot = 0xFFFFFFFFu;
+
   struct Frame {
     PageId pid = kInvalidPageId;
     FrameState state = FrameState::kLoading;
     const char* data = nullptr;
     uint32_t pin_count = 0;
     bool from_prefetch = false;
-    std::vector<FetchAwaiter*> waiters;
     /// The read loading this frame; valid only while state == kLoading.
     uint64_t read_id = 0;
-    // Valid only when state == kReady and pin_count == 0.
-    std::list<PageId>::iterator lru_it;
+    /// Intrusive FIFO of suspended fetches (valid while state == kLoading).
+    FetchAwaiter* waiters_head = nullptr;
+    FetchAwaiter* waiters_tail = nullptr;
+    /// Intrusive LRU links (slot indices into the slab); valid only when
+    /// in_lru, i.e. state == kReady and pin_count == 0.
+    uint32_t lru_prev = kNoSlot;
+    uint32_t lru_next = kNoSlot;
     bool in_lru = false;
+    /// Free-list link; valid only while the slot is unused.
+    uint32_t next_free = kNoSlot;
   };
 
   /// One outstanding device read (possibly spanning several pages), tracked
@@ -204,6 +225,28 @@ class BufferPool {
     io::QueryContext* originator = nullptr;
   };
 
+  /// Slab lookup through the page table; nullptr when `pid` has no frame.
+  Frame* FindFrame(PageId pid);
+  const Frame* FindFrame(PageId pid) const;
+  uint32_t SlotOf(const Frame& f) const {
+    return static_cast<uint32_t>(&f - slab_.data());
+  }
+  /// Takes a slot off the free list and binds it to `pid` in the page
+  /// table. Requires a free slot (EnsureCapacity guarantees one).
+  Frame& AllocFrame(PageId pid);
+  /// Unbinds the frame from the page table and returns its slot to the
+  /// free list.
+  void ReleaseFrame(Frame& f);
+
+  /// Appends `w` to the frame's waiter chain (FIFO order — resume order is
+  /// arrival order, as with the old per-frame vector).
+  static void AppendWaiter(Frame& f, FetchAwaiter* w);
+  /// Unlinks `w` from the frame's waiter chain; false if not present.
+  static bool RemoveWaiter(Frame& f, FetchAwaiter* w);
+
+  /// Upper bound on prefetch runs gathered before a batch flush.
+  static constexpr uint32_t kMaxPrefetchRuns = 32;
+
   /// Makes room for one more frame, evicting the LRU unpinned page if at
   /// capacity (counting in-flight frames against capacity). Returns false
   /// when every frame is pinned or loading.
@@ -214,6 +257,19 @@ class BufferPool {
   /// truncated to the frames available (possibly to nothing).
   Status StartRead(PageId first, uint32_t count, bool prefetch,
                    io::QueryContext* originator = nullptr);
+  /// The bookkeeping half of StartRead: allocates loading frames, records
+  /// stats, and creates the inflight entry — but schedules nothing.
+  /// `*read_id` is 0 when there is nothing to read (fully dropped
+  /// prefetch). Callers must follow up with IssueAttempt/SubmitPrepared for
+  /// every nonzero read id before returning to the simulator.
+  Status PrepareRead(PageId first, uint32_t count, bool prefetch,
+                     io::QueryContext* originator, uint64_t* read_id);
+  /// Issues the first attempt of every prepared read, in order. With an
+  /// inert retry policy (no per-attempt deadline) the whole batch goes to
+  /// the device in one SubmitBatch call; with a deadline configured it
+  /// falls back to per-read IssueAttempt so each read's deadline arming
+  /// stays interleaved with its submission (the exact legacy event order).
+  void SubmitPrepared(const uint64_t* read_ids, uint32_t count);
   /// A cancelled query's waiter detached from `pid`'s loading frame: if the
   /// read was started for that query and nobody else waits on it, try to
   /// reclaim the queued device request (else let it land as an unpinned
@@ -238,14 +294,22 @@ class BufferPool {
   const uint32_t capacity_;
   BufferPoolOptions options_;
   Pcg32 retry_rng_;
-  /// Both hot-path maps use the mixing IntHash (sequential PageIds /
-  /// monotonically increasing read ids would otherwise cluster under the
-  /// identity std::hash) and are pre-sized in the constructor so steady-state
-  /// fetch traffic never rehashes.
-  std::unordered_map<PageId, Frame, IntHash> frames_;
-  std::unordered_map<uint64_t, InflightRead, IntHash> inflight_;
+  /// Fixed frame slab: allocated once, never resized, so `Frame&` stays
+  /// stable across every pool operation. Unused slots chain through
+  /// `next_free`.
+  std::vector<Frame> slab_;
+  uint32_t free_head_ = kNoSlot;
+  uint32_t num_frames_ = 0;  // slots bound in the page table
+  /// Open-addressed tables (common/flat_map.h), pre-sized in the
+  /// constructor so steady-state fetch traffic never rehashes: at most
+  /// `capacity_` frames can be resident or loading, and each inflight read
+  /// covers >= 1 frame.
+  FlatIntMap<uint32_t> page_table_;       // PageId -> slab slot
+  FlatIntMap<InflightRead> inflight_;     // read id -> read state
   uint64_t next_read_id_ = 1;
-  std::list<PageId> lru_;  // front = most recent
+  /// Intrusive LRU through the slab; head = most recent, tail = victim.
+  uint32_t lru_head_ = kNoSlot;
+  uint32_t lru_tail_ = kNoSlot;
   BufferPoolStats stats_;
 };
 

@@ -1,0 +1,264 @@
+// opt::PlanCache semantics (DESIGN.md §13):
+//   1. Repeat lookups of an identical planning problem hit; any input the
+//      exact tags cover (selectivity, confidence, profile, options) misses.
+//   2. A QdttModel::SetPoint merge bumps the model generation and kills
+//      cached plans (the DriftDefense refresh path).
+//   3. A confidence-regime crossing flushes via the caller protocol
+//      (RegimeFor + InvalidateAll), and model replacement flushes end to end.
+//   4. A/B: RunWorkload chooses bit-identical plans with the cache on and
+//      off — a hit is indistinguishable from fresh optimization.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/qdtt_model.h"
+#include "db/database.h"
+#include "opt/plan_cache.h"
+#include "sim/sim_checks.h"
+
+namespace pioqo {
+namespace {
+
+using db::Database;
+using db::DatabaseOptions;
+using opt::OptimizationResult;
+using opt::OptimizerOptions;
+using opt::PlanCache;
+
+core::TableProfile TestProfile() {
+  core::TableProfile profile;
+  profile.table_pages = 4096;
+  profile.rows = 33 * 4096;
+  profile.rows_per_page = 33;
+  profile.index_height = 3;
+  profile.index_leaves = 400;
+  profile.pool_pages = 512;
+  profile.cached_fraction = 0.25;
+  return profile;
+}
+
+core::QdttModel TestModel() {
+  core::QdttModel model({1, 512, 65536}, {1, 2, 4});
+  for (size_t b = 0; b < model.num_bands(); ++b) {
+    for (size_t q = 0; q < model.num_qds(); ++q) {
+      model.SetPoint(b, q, 100.0 * static_cast<double>(b + 1) /
+                               static_cast<double>(q + 1));
+    }
+  }
+  return model;
+}
+
+PlanCache::Key TestKey(const core::QdttModel& model) {
+  PlanCache::Key key;
+  key.table_id = 17;
+  key.selectivity = 0.01;
+  key.confidence = 1.0;
+  key.profile = TestProfile();
+  key.options = OptimizerOptions{};
+  key.options.record_considered = false;  // as Database's planner keys it
+  key.model_generation = model.generation();
+  return key;
+}
+
+OptimizationResult TestResult() {
+  OptimizationResult result;
+  result.chosen.method = core::AccessMethod::kPis;
+  result.chosen.dop = 8;
+  result.chosen.prefetch_depth = 4;
+  result.chosen.total_us = 1234.5;
+  return result;
+}
+
+TEST(PlanCacheTest, HitsOnRepeatMissesOnAnyTagChange) {
+  core::QdttModel model = TestModel();
+  PlanCache cache(64);
+  const PlanCache::Key key = TestKey(model);
+
+  EXPECT_EQ(cache.Lookup(key), nullptr);  // cold
+  cache.Insert(key, TestResult());
+  const OptimizationResult* hit = cache.Lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->chosen.method, core::AccessMethod::kPis);
+  EXPECT_EQ(hit->chosen.dop, 8);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // Every exact tag must gate the hit, even when the bucket coincides.
+  PlanCache::Key k = key;
+  k.selectivity = 0.0100000001;  // same log2 bucket, different bits
+  EXPECT_EQ(cache.Lookup(k), nullptr);
+  k = key;
+  k.confidence = 0.99;  // same (full-trust) regime, different bits
+  EXPECT_EQ(cache.Lookup(k), nullptr);
+  k = key;
+  k.profile.cached_fraction = 0.26;  // pool residency moved
+  EXPECT_EQ(cache.Lookup(k), nullptr);
+  k = key;
+  k.options.parallel_degrees = {1, 2, 4};  // narrower search space
+  EXPECT_EQ(cache.Lookup(k), nullptr);
+  k = key;
+  k.options.record_considered = true;  // wants the full candidate list
+  EXPECT_EQ(cache.Lookup(k), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 6u);
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+}
+
+TEST(PlanCacheTest, SetPointMergeInvalidatesCachedPlans) {
+  core::QdttModel model = TestModel();
+  PlanCache cache;
+  PlanCache::Key key = TestKey(model);
+  cache.Insert(key, TestResult());
+  ASSERT_NE(cache.Lookup(key), nullptr);
+
+  // A drift-defense point merge goes through exactly this call.
+  const uint64_t before = model.generation();
+  model.SetPoint(1, 1, 999.0);
+  EXPECT_EQ(model.generation(), before + 1);
+
+  key.model_generation = model.generation();
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.size(), 0u);  // the stale entry is gone, not just skipped
+}
+
+TEST(PlanCacheTest, RegimeCrossingFlushesViaCallerProtocol) {
+  const OptimizerOptions options;  // thresholds 0.75 / 0.35
+  EXPECT_EQ(PlanCache::RegimeFor(1.0, options), PlanCache::Regime::kFull);
+  EXPECT_EQ(PlanCache::RegimeFor(0.75, options), PlanCache::Regime::kFull);
+  EXPECT_EQ(PlanCache::RegimeFor(0.5, options),
+            PlanCache::Regime::kConservative);
+  EXPECT_EQ(PlanCache::RegimeFor(0.1, options),
+            PlanCache::Regime::kDttFallback);
+  // Queue-depth-blind planning has no DTT fallback to cross into.
+  OptimizerOptions dtt = options;
+  dtt.queue_depth_aware = false;
+  EXPECT_EQ(PlanCache::RegimeFor(0.1, dtt), PlanCache::Regime::kConservative);
+
+  // The Database protocol: regime crossing ⇒ InvalidateAll, counted.
+  core::QdttModel model = TestModel();
+  PlanCache cache;
+  PlanCache::Key key = TestKey(model);
+  cache.Insert(key, TestResult());
+  const PlanCache::Regime planned_under = PlanCache::RegimeFor(1.0, options);
+  const PlanCache::Regime now = PlanCache::RegimeFor(0.5, options);
+  ASSERT_NE(planned_under, now);
+  cache.InvalidateAll();
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// --- End-to-end: RunWorkload with the cache on/off ------------------------
+
+storage::DatasetConfig SmallTable() {
+  storage::DatasetConfig config;
+  config.name = "T";
+  // 256 data pages, so table + index fit a 1024-frame pool: residency (and
+  // with it TableProfile::cached_fraction) saturates after the first rounds
+  // and repeat arrivals become cache hits.
+  config.num_rows = 33 * 256;
+  return config;
+}
+
+struct WorkloadOutcome {
+  Database::WorkloadReport report;
+  uint64_t trace_hash = 0;
+};
+
+WorkloadOutcome RunCachedWorkload(bool cache_on) {
+  DatabaseOptions options;
+  options.device = io::DeviceKind::kSsdConsumer;
+  options.pool_pages = 1024;
+  options.calibration.max_pages_per_point = 256;
+  options.enable_plan_cache = cache_on;
+  Database db(std::move(options));
+  PIOQO_CHECK(db.CreateTable(SmallTable()).ok());
+  db.Calibrate();
+  db.EnableAdmissionControl();
+
+  static constexpr double kSelectivities[4] = {0.30, 0.01, 0.10, 0.02};
+  const int32_t domain = SmallTable().c2_domain;
+  std::vector<Database::QueryRequest> requests;
+  const double start_us = db.simulator().Now() + 1'000.0;
+  for (size_t i = 0; i < 20; ++i) {
+    Database::QueryRequest req;
+    req.scan.table = "T";
+    req.scan.pred = exec::RangePredicate{
+        0, storage::C2UpperBoundForSelectivity(domain, kSelectivities[i % 4])};
+    req.use_optimizer = true;
+    req.arrival_us = start_us + static_cast<double>(i) * 100'000.0;
+    requests.push_back(req);
+  }
+
+  auto report = db.RunWorkload(requests, /*flush_pool=*/true);
+  PIOQO_CHECK_OK(report.status());
+  WorkloadOutcome out;
+  out.report = std::move(report).value();
+  out.trace_hash = db.simulator().trace_hash();
+  EXPECT_TRUE(db.pool().Clear().ok());
+  sim::checks::ExpectQuiescent("plan cache workload");
+  return out;
+}
+
+TEST(PlanCacheWorkloadTest, RepeatArrivalsHitAndChosenPlansAreBitIdentical) {
+  const WorkloadOutcome on = RunCachedWorkload(/*cache_on=*/true);
+  const WorkloadOutcome off = RunCachedWorkload(/*cache_on=*/false);
+
+  ASSERT_EQ(on.report.queries.size(), 20u);
+  EXPECT_EQ(on.report.failed, 0u);
+  EXPECT_EQ(on.report.completed, 20u);
+
+  // Hits happen once pool residency stabilizes; every query planned.
+  EXPECT_GE(on.report.plan_cache.hits, 8u);
+  EXPECT_GE(on.report.plan_cache.misses, 4u);
+  EXPECT_EQ(on.report.plan_cache.hits + on.report.plan_cache.misses, 20u);
+  EXPECT_EQ(off.report.plan_cache.hits, 0u);
+  EXPECT_EQ(off.report.plan_cache.misses, 0u);
+
+  // A/B: a cache hit must be indistinguishable from fresh optimization —
+  // same chosen plans, and therefore a bit-identical simulation.
+  for (size_t i = 0; i < on.report.queries.size(); ++i) {
+    EXPECT_EQ(on.report.queries[i].planned_method,
+              off.report.queries[i].planned_method) << "query " << i;
+    EXPECT_EQ(on.report.queries[i].planned_dop,
+              off.report.queries[i].planned_dop) << "query " << i;
+    EXPECT_EQ(on.report.queries[i].rows_matched,
+              off.report.queries[i].rows_matched) << "query " << i;
+  }
+  EXPECT_EQ(on.trace_hash, off.trace_hash);
+}
+
+TEST(PlanCacheWorkloadTest, ModelReplacementFlushesTheCache) {
+  DatabaseOptions options;
+  options.device = io::DeviceKind::kSsdConsumer;
+  options.pool_pages = 1024;
+  options.calibration.max_pages_per_point = 256;
+  Database db(std::move(options));
+  PIOQO_CHECK(db.CreateTable(SmallTable()).ok());
+  db.Calibrate();
+  db.EnableAdmissionControl();
+  ASSERT_NE(db.plan_cache(), nullptr);
+
+  Database::QueryRequest req;
+  req.scan.table = "T";
+  req.scan.pred = exec::RangePredicate{
+      0, storage::C2UpperBoundForSelectivity(SmallTable().c2_domain, 0.1)};
+  req.use_optimizer = true;
+  req.arrival_us = db.simulator().Now() + 1'000.0;
+  auto first = db.RunWorkload({req}, /*flush_pool=*/true);
+  PIOQO_CHECK_OK(first.status());
+  EXPECT_GE(db.plan_cache()->size(), 1u);
+
+  // Reinstalling a model (even an identical copy) must flush: generation
+  // counters are per model object and cannot vouch across a swap.
+  db.InstallModel(db.qdtt());
+  EXPECT_EQ(db.plan_cache()->size(), 0u);
+  EXPECT_GE(db.plan_cache()->stats().invalidations, 1u);
+  sim::checks::ExpectQuiescent("plan cache install");
+}
+
+}  // namespace
+}  // namespace pioqo

@@ -30,11 +30,14 @@ RULES = {
                "← exec ← opt ← db; bench/tests/examples are sinks)",
     "PERF001": "std::function declared in a hot-path layer (src/sim, src/io);"
                " use sim::InlineFunction",
+    "PERF002": "node-based container (std::list/map/set) in a per-page layer "
+               "(src/storage, src/exec); use FlatIntMap or an intrusive "
+               "structure",
 }
 
 # Rules whose fixtures are directory trees (the rule is path-gated), not
 # single files.
-TREE_FIXTURE_RULES = {"ARCH001", "PERF001"}
+TREE_FIXTURE_RULES = {"ARCH001", "PERF001", "PERF002"}
 
 FIXTURES_DIR = Path(__file__).resolve().parent / "fixtures"
 
@@ -68,6 +71,8 @@ def scan(sources, enabled_rules):
             violations.extend(rules_arch.check_arch001(src))
         if "PERF001" in enabled_rules:
             violations.extend(rules_perf.check_perf001(src))
+        if "PERF002" in enabled_rules:
+            violations.extend(rules_perf.check_perf002(src))
     return violations
 
 

@@ -1,0 +1,27 @@
+#ifndef FIXTURE_STORAGE_VICTIM_INDEX_H_
+#define FIXTURE_STORAGE_VICTIM_INDEX_H_
+
+// PERF002 bad fixture: node-based containers inside a per-page layer — a
+// list member, a map member, an unordered_map alias, and a set parameter
+// all fire.
+#include <list>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace pioqo::storage {
+
+using PageTable = std::unordered_map<unsigned long, unsigned>;  // PERF002
+
+class VictimIndex {
+ public:
+  void Pin(const std::set<unsigned long>& pages);  // PERF002
+
+ private:
+  std::list<unsigned long> lru_;               // PERF002
+  std::map<unsigned long, unsigned> frames_;   // PERF002
+};
+
+}  // namespace pioqo::storage
+
+#endif

@@ -1,0 +1,15 @@
+#ifndef FIXTURE_DB_CATALOG_GOOD_H_
+#define FIXTURE_DB_CATALOG_GOOD_H_
+
+// PERF002 good fixture: catalog-scale node containers outside the per-page
+// layers (src/db runs per-query, not per-page) are not judged.
+#include <map>
+#include <string>
+
+namespace pioqo::db {
+
+using TableCatalog = std::map<std::string, unsigned long>;
+
+}  // namespace pioqo::db
+
+#endif
